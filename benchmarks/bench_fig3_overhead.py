@@ -1,0 +1,21 @@
+"""Figure 3 / section 5.1 — optimizer overhead and helper activity.
+
+Paper: the helper thread is active ~2.2% of cycles on average; running the
+optimizer without ever linking its traces costs only ~0.6%.  Our runs are
+~500x shorter than the paper's, so the (front-loaded) optimization
+activity is proportionally larger; the claim reproduced is that the
+overhead-only slowdown stays small even so.
+"""
+
+from conftest import shapes_asserted
+
+from repro.harness.experiments import fig3_overhead
+
+
+def test_fig3_overhead(benchmark, report):
+    result = benchmark.pedantic(fig3_overhead, iterations=1, rounds=1)
+    report("fig3_overhead", result.render())
+    # The optimize-but-don't-link configuration must be nearly free.
+    if not shapes_asserted():
+        return
+    assert result.mean_overhead < 0.05

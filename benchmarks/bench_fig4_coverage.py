@@ -1,0 +1,20 @@
+"""Figure 4 — load-miss coverage by hot traces and the prefetcher.
+
+Paper: >85% of load misses fall inside hot traces and ~55% of all misses
+are targeted by the software prefetcher; dot and parser have low trace
+coverage, gap has low coverage but nearly-complete prefetchability of its
+in-trace misses.
+"""
+
+from conftest import shapes_asserted
+
+from repro.harness.experiments import fig4_coverage
+
+
+def test_fig4_coverage(benchmark, report):
+    result = benchmark.pedantic(fig4_coverage, iterations=1, rounds=1)
+    report("fig4_coverage", result.render())
+    if not shapes_asserted():
+        return
+    assert 0.0 < result.mean_prefetch_coverage <= result.mean_trace_coverage
+    assert result.mean_trace_coverage > 0.5

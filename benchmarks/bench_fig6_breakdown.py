@@ -1,0 +1,22 @@
+"""Figure 6 — breakdown of all dynamic loads.
+
+Paper: with the self-repairing prefetcher, partial prefetch hits are rare
+(the distance search converged) and misses *caused* by prefetching are
+rarer still.
+"""
+
+from conftest import shapes_asserted
+
+from repro.harness.experiments import fig6_breakdown
+from repro.harness.report import arithmetic_mean
+
+
+def test_fig6_breakdown(benchmark, report):
+    result = benchmark.pedantic(fig6_breakdown, iterations=1, rounds=1)
+    report("fig6_breakdown", result.render())
+    if not shapes_asserted():
+        return
+    mean_caused = arithmetic_mean(
+        [r["miss_due_to_prefetch"] for r in result.rows]
+    )
+    assert mean_caused < 0.05  # prefetch-caused misses are rare

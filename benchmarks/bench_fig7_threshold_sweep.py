@@ -1,0 +1,22 @@
+"""Figure 7 — sensitivity to the DLT monitoring window and miss-rate
+threshold.
+
+Paper: a 3% miss-rate threshold over a 256-access window works best; too
+small a threshold over-prefetches, too big misses delinquent loads.
+Runs a representative workload subset (REPRO_BENCH_WORKLOADS widens it).
+"""
+
+from conftest import sweep_workloads
+
+from repro.harness.experiments import fig7_threshold_sweep
+
+
+def test_fig7_threshold_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        fig7_threshold_sweep,
+        kwargs={"workloads": sweep_workloads()},
+        iterations=1,
+        rounds=1,
+    )
+    report("fig7_threshold_sweep", result.render())
+    assert len(result.grid) == len(result.windows) * len(result.rates)

@@ -1,0 +1,26 @@
+"""Figure 8 — sensitivity to the DLT size.
+
+Paper: performance is mostly flat with DLT size, but benchmarks with many
+concurrently-hot load sites (dot, parser) want the bigger tables; 1024
+entries suffices.
+"""
+
+from conftest import shapes_asserted, sweep_workloads
+
+from repro.harness.experiments import fig8_dlt_sweep
+
+
+def test_fig8_dlt_sweep(benchmark, report):
+    result = benchmark.pedantic(
+        fig8_dlt_sweep,
+        kwargs={"workloads": sweep_workloads()},
+        iterations=1,
+        rounds=1,
+    )
+    report("fig8_dlt_sweep", result.render())
+    if not shapes_asserted():
+        return
+    biggest = result.by_size[max(result.sizes)]["mean"]
+    smallest = result.by_size[min(result.sizes)]["mean"]
+    # Bigger tables never hurt meaningfully.
+    assert biggest >= smallest * 0.95

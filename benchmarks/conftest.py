@@ -1,0 +1,57 @@
+"""Shared bench plumbing.
+
+Every bench regenerates one paper table/figure: it runs the corresponding
+experiment from :mod:`repro.harness.experiments`, prints the paper-style
+table (through capture-disabled output so it survives pytest's capture),
+and writes it to ``benchmarks/results/<name>.txt``.
+
+Budgets honour the environment knobs::
+
+    REPRO_BENCH_INSTRUCTIONS   measured instructions per run (default 120k)
+    REPRO_BENCH_WARMUP         warmup instructions per run   (default 200k)
+    REPRO_BENCH_WORKLOADS      comma-separated subset of benchmarks
+
+The sensitivity sweeps (Figures 7/8) and ablations default to a
+representative workload subset; export REPRO_BENCH_WORKLOADS to widen.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Subset used by the many-configuration sweeps to keep bench time sane.
+SWEEP_WORKLOADS = ["art", "dot", "mcf", "parser", "swim"]
+
+
+def sweep_workloads():
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if raw:
+        return [n.strip() for n in raw.split(",") if n.strip()]
+    return list(SWEEP_WORKLOADS)
+
+
+def shapes_asserted() -> bool:
+    """Shape assertions only hold at realistic budgets; tiny smoke runs
+    (small REPRO_BENCH_INSTRUCTIONS) regenerate the tables without them."""
+    from repro.harness.experiments import bench_instructions, bench_warmup
+
+    return bench_instructions() >= 60_000 and bench_warmup() >= 100_000
+
+
+@pytest.fixture
+def report(capfd):
+    """Print a rendered table through the capture and save it to disk."""
+
+    def emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return emit

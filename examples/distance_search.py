@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Watch the self-repairing distance search converge.
+
+Runs the `art` workload (short iterations, memory-latency-bound: the
+prefetch distance matters a lot) and prints each prefetch record's repair
+trajectory — the (distance, measured average access latency) pairs of
+section 3.5.2's search — exactly the "trial and error until the correct
+distance is found" the paper describes.
+
+Run:
+    python examples/distance_search.py [workload]
+"""
+
+import sys
+
+from repro import PrefetchPolicy, Simulation, SimulationConfig
+
+WORKLOAD = sys.argv[1] if len(sys.argv) > 1 else "art"
+
+
+def main() -> None:
+    sim = Simulation(
+        WORKLOAD,
+        SimulationConfig(
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=320_000,
+        ),
+    )
+    result = sim.run()
+    print(f"{WORKLOAD}: IPC {result.ipc:.3f}, "
+          f"{result.repairs_applied} repairs applied\n")
+
+    seen = set()
+    for trace in sim.runtime.code_cache.linked_traces():
+        records = trace.meta.get("records", {})
+        for record in records.values():
+            if id(record) in seen:
+                continue
+            seen.add(id(record))
+            label = ",".join(str(pc) for pc in record.load_pcs)
+            print(
+                f"record loads=[{label}] kind={record.kind} "
+                f"stride={record.stride} max_distance={record.max_distance}"
+            )
+            print(
+                f"  final distance {record.distance}"
+                f"{' (mature)' if record.mature else ''}"
+            )
+            if record.history:
+                print("  search trajectory (distance -> avg latency):")
+                for distance, latency in record.history:
+                    bar = "#" * max(1, int(latency / 8))
+                    print(f"    d={distance:3d}  {latency:7.1f}  {bar}")
+            print()
+
+
+if __name__ == "__main__":
+    main()

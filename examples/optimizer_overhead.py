@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Section 5.1's cost question: what does the optimizer itself cost?
+
+The paper measures this by running Trident with the prefetch optimizer
+fully active — forming traces, classifying loads, building prefetched
+trace bodies — but never linking the results into execution, so the main
+thread runs unmodified code and any slowdown is pure optimizer overhead
+(they report 0.6%).  The helper-thread occupancy (their Figure 3, 2.2%
+average) is reported alongside.
+
+Run:
+    python examples/optimizer_overhead.py [workload ...]
+"""
+
+import sys
+
+from repro import PrefetchPolicy, run_simulation
+
+WORKLOADS = sys.argv[1:] or ["mcf", "swim", "galgel"]
+BUDGET = 100_000
+
+
+def main() -> None:
+    print(f"{'workload':10s} {'base IPC':>9s} {'overhead-only IPC':>18s} "
+          f"{'slowdown':>9s} {'helper active':>14s}")
+    for name in WORKLOADS:
+        base = run_simulation(
+            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=BUDGET
+        )
+        overhead = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=BUDGET,
+            overhead_only=True,
+        )
+        full = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=BUDGET,
+        )
+        slowdown = max(0.0, base.ipc / overhead.ipc - 1.0)
+        print(
+            f"{name:10s} {base.ipc:9.3f} {overhead.ipc:18.3f} "
+            f"{slowdown:8.2%} {full.helper_active_fraction:13.1%}"
+        )
+    print(
+        "\nThe overhead-only column runs the full optimizer without ever"
+        "\nlinking its traces (the paper's 0.6% experiment): the optimizer"
+        "\nis effectively free because it lives on the spare SMT context."
+    )
+
+
+if __name__ == "__main__":
+    main()

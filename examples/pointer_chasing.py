@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""The paper's key pointer observation, demonstrated.
+
+Section 3.3: "the hardware support allows us to identify a large number
+of pointer loads that turn out to have stride access patterns, due to the
+way memory structures are allocated and used."
+
+This example builds the SAME pointer-chasing program over two heap
+layouts — allocator-sequential (mcf-like) and scrambled (dot-like) — and
+shows how the classification, the inserted prefetch kind, and the speedup
+all change with nothing but data layout.
+"""
+
+from repro import PrefetchPolicy, Simulation, SimulationConfig
+from repro.isa.assembler import Assembler
+from repro.memory.mainmem import DataMemory, HeapAllocator
+from repro.workloads.base import Workload, counted_loop
+from repro.workloads.data import build_linked_list
+
+NODES = 80_000
+NODE_WORDS = 8
+
+
+def chase_workload(name: str, scramble: bool) -> Workload:
+    import random
+
+    memory = DataMemory()
+    alloc = HeapAllocator(memory)
+    head, _ = build_linked_list(
+        alloc,
+        node_words=NODE_WORDS,
+        count=NODES,
+        rng=random.Random(7),
+        scramble=scramble,
+    )
+    asm = Assembler(name)
+    close_outer = counted_loop(asm, "r21", 10_000, "outer")
+    asm.li("r1", head)
+    close_inner = counted_loop(asm, "r22", NODES, "walk")
+    asm.ldq("r2", "r1", 8)       # payload
+    asm.addq("r11", "r11", rb="r2")
+    asm.mulq("r12", "r11", rb="r2")
+    asm.xor("r11", "r11", rb="r12")
+    asm.ldq("r1", "r1", 0)       # chase
+    close_inner()
+    close_outer()
+    asm.halt()
+    return Workload(
+        name=name,
+        program=asm.build(),
+        memory=memory,
+        description="pointer chase",
+        kind="pointer",
+    )
+
+
+def run(workload: Workload, policy: PrefetchPolicy):
+    sim = Simulation(
+        workload,
+        SimulationConfig(
+            policy=policy, max_instructions=120_000,
+            warmup_instructions=160_000,
+        ),
+    )
+    return sim, sim.run()
+
+
+def describe(layout: str, workload: Workload) -> None:
+    _, hw = run(workload, PrefetchPolicy.HW_ONLY)
+    sim, sr = run(workload, PrefetchPolicy.SELF_REPAIRING)
+    print(f"--- {layout} layout ---")
+    print(f"  hardware-only IPC:   {hw.ipc:.3f}")
+    print(f"  self-repairing IPC:  {sr.ipc:.3f} "
+          f"({(sr.speedup_over(hw) - 1) * 100:+.1f}%)")
+    kinds = set()
+    for trace in sim.runtime.code_cache.linked_traces():
+        for record in trace.meta.get("records", {}).values():
+            kinds.add(record.kind)
+    print(f"  prefetch kinds inserted: {sorted(kinds) or ['none']}")
+    print(f"  stride prefetches: {sr.prefetches_inserted}, "
+          f"pointer (double-deref) prefetches: "
+          f"{sr.pointer_prefetches_inserted}")
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    describe("sequential (mcf-like)", chase_workload("seq_chase", False))
+    describe("scrambled (dot-like)", chase_workload("scram_chase", True))
+    print(
+        "With a sequential layout the DLT's stride detector turns the\n"
+        "pointer chase into a stride-prefetchable load (large gains);\n"
+        "scrambled nodes leave only the double-dereference pointer\n"
+        "prefetch, which cannot get far ahead of a serialized chain."
+    )
+
+
+if __name__ == "__main__":
+    main()

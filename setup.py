@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by pyproject.toml; this file exists so the
+package can be installed editable on environments whose setuptools lacks
+PEP 660 support (``pip install -e .`` falls back to the legacy path, and
+``python setup.py develop`` works offline without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

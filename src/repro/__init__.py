@@ -1,0 +1,58 @@
+"""repro — reproduction of "A Self-Repairing Prefetcher in an Event-Driven
+Dynamic Optimization Framework" (Zhang, Calder, Tullsen; CGO 2006).
+
+Quickstart::
+
+    from repro import run_simulation, PrefetchPolicy
+
+    baseline = run_simulation("mcf", policy=PrefetchPolicy.HW_ONLY)
+    repaired = run_simulation("mcf", policy=PrefetchPolicy.SELF_REPAIRING)
+    print(f"speedup: {repaired.speedup_over(baseline):.2f}x")
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.isa` — the instruction-set substrate;
+* :mod:`repro.memory` — caches, hierarchy, Figure-6 accounting;
+* :mod:`repro.hwprefetch` — the hardware stream-buffer baseline;
+* :mod:`repro.cpu` — the SMT dataflow timing core;
+* :mod:`repro.trident` — the event-driven optimization framework;
+* :mod:`repro.core` — the paper's contribution: the self-repairing
+  dynamic prefetch optimizer;
+* :mod:`repro.workloads` — the 14 benchmarks as synthetic equivalents;
+* :mod:`repro.harness` — experiments reproducing every figure.
+"""
+
+from .config import (
+    CacheConfig,
+    DLTConfig,
+    MachineConfig,
+    PrefetchPolicy,
+    SimulationConfig,
+    StreamBufferConfig,
+    TridentConfig,
+)
+from .harness.runner import Simulation, SimulationResult, run_simulation
+from .workloads.registry import (
+    BENCHMARK_NAMES,
+    all_workload_names,
+    load_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CacheConfig",
+    "DLTConfig",
+    "MachineConfig",
+    "PrefetchPolicy",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "StreamBufferConfig",
+    "TridentConfig",
+    "all_workload_names",
+    "load_workload",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — the 14 benchmark workloads and their characters;
+* ``run``  — simulate one workload under one prefetching policy;
+* ``figure`` — regenerate one of the paper's figures.
+
+Examples::
+
+    python -m repro list
+    python -m repro run mcf --policy self_repairing --instructions 100000
+    python -m repro figure 5 --workloads mcf,art --instructions 80000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import PrefetchPolicy
+from .harness import experiments
+from .harness.report import render_mapping
+from .harness.runner import run_simulation
+from .workloads.registry import BENCHMARK_NAMES, load_workload
+
+_FIGURES = {
+    "2": experiments.fig2_hw_baseline,
+    "3": experiments.fig3_overhead,
+    "4": experiments.fig4_coverage,
+    "5": experiments.fig5_policies,
+    "6": experiments.fig6_breakdown,
+    "7": experiments.fig7_threshold_sweep,
+    "8": experiments.fig8_dlt_sweep,
+    "9": experiments.fig9_sw_vs_hw,
+    "cache": experiments.cache_equivalent_area,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Self-Repairing Prefetcher in an "
+            "Event-Driven Dynamic Optimization Framework' (CGO 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark workloads")
+
+    run = sub.add_parser("run", help="simulate one workload")
+    run.add_argument("workload", choices=BENCHMARK_NAMES)
+    run.add_argument(
+        "--policy",
+        default="self_repairing",
+        choices=[p.value for p in PrefetchPolicy],
+    )
+    run.add_argument("--instructions", type=int, default=100_000)
+    run.add_argument("--warmup", type=int, default=200_000)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("figure", choices=sorted(_FIGURES))
+    fig.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated subset (default: all 14)",
+    )
+    fig.add_argument("--instructions", type=int, default=None)
+    fig.add_argument("--warmup", type=int, default=None)
+
+    traces = sub.add_parser(
+        "traces",
+        help="run a workload and dump its linked hot traces",
+    )
+    traces.add_argument("workload", choices=BENCHMARK_NAMES)
+    traces.add_argument("--instructions", type=int, default=80_000)
+    traces.add_argument(
+        "--policy",
+        default="self_repairing",
+        choices=[p.value for p in PrefetchPolicy],
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run two policies side by side"
+    )
+    compare.add_argument("workload", choices=BENCHMARK_NAMES)
+    compare.add_argument("--baseline", default="hw_only")
+    compare.add_argument("--candidate", default="self_repairing")
+    compare.add_argument("--instructions", type=int, default=100_000)
+    compare.add_argument("--warmup", type=int, default=200_000)
+
+    claims = sub.add_parser(
+        "claims", help="grade the paper's claims against this build"
+    )
+    claims.add_argument("--workloads", default=None)
+    claims.add_argument("--instructions", type=int, default=None)
+    claims.add_argument("--warmup", type=int, default=None)
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in BENCHMARK_NAMES:
+        workload = load_workload(name)
+        print(f"{name:10s} [{workload.kind:9s}] {workload.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_simulation(
+        args.workload,
+        policy=PrefetchPolicy(args.policy),
+        max_instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        seed=args.seed,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    summary = {
+        "workload": result.workload,
+        "policy": result.policy.value,
+        "instructions": result.instructions,
+        "cycles": int(result.cycles),
+        "IPC": round(result.ipc, 4),
+        "traces linked": result.traces_linked,
+        "prefetches (stride)": result.prefetches_inserted,
+        "prefetches (pointer)": result.pointer_prefetches_inserted,
+        "distance repairs": result.repairs_applied,
+        "helper active": f"{result.helper_active_fraction:.1%}",
+    }
+    print(render_mapping("simulation result", summary))
+    print()
+    print(render_mapping(
+        "load outcomes",
+        {k: f"{v:.2%}" for k, v in result.breakdown().items()},
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",")]
+    kwargs = {"workloads": workloads}
+    if args.instructions is not None:
+        kwargs["max_instructions"] = args.instructions
+    if args.warmup is not None:
+        kwargs["warmup"] = args.warmup
+    result = _FIGURES[args.figure](**kwargs)
+    print(result.render())
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from .config import SimulationConfig
+    from .harness.runner import Simulation
+    from .isa.disasm import format_instruction
+
+    sim = Simulation(
+        args.workload,
+        SimulationConfig(
+            policy=PrefetchPolicy(args.policy),
+            max_instructions=args.instructions,
+        ),
+    )
+    sim.run()
+    if sim.runtime is None:
+        print("policy has no Trident runtime (no traces)")
+        return 0
+    traces = sim.runtime.code_cache.linked_traces()
+    if not traces:
+        print("no traces linked")
+        return 0
+    for trace in sorted(traces, key=lambda t: t.head_pc):
+        print(
+            f"trace {trace.trace_id} @ pc {trace.head_pc} "
+            f"(version {trace.version}, {len(trace.body)} instructions, "
+            f"fallthrough {trace.fallthrough_pc})"
+        )
+        for tinst in trace.body:
+            marker = "+" if tinst.synthetic else " "
+            expect = ""
+            if tinst.expected_taken is not None:
+                expect = f"   ; expect {'T' if tinst.expected_taken else 'NT'}"
+            print(
+                f"  {marker} [{tinst.orig_pc:5d}] "
+                f"{format_instruction(tinst.inst)}{expect}"
+            )
+        records = trace.meta.get("records", {})
+        seen = set()
+        for record in records.values():
+            if id(record) in seen:
+                continue
+            seen.add(id(record))
+            print(
+                f"  record loads={record.load_pcs} kind={record.kind} "
+                f"stride={record.stride} distance={record.distance}"
+                f"{' (mature)' if record.mature else ''}"
+            )
+        print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .harness.charts import bar_chart
+
+    results = {}
+    for role, policy in (
+        ("baseline", args.baseline),
+        ("candidate", args.candidate),
+    ):
+        results[role] = run_simulation(
+            args.workload,
+            policy=PrefetchPolicy(policy),
+            max_instructions=args.instructions,
+            warmup_instructions=args.warmup,
+        )
+    base, cand = results["baseline"], results["candidate"]
+    print(
+        bar_chart(
+            f"{args.workload}: IPC",
+            [
+                (f"{args.baseline}", base.ipc),
+                (f"{args.candidate}", cand.ipc),
+            ],
+        )
+    )
+    print()
+    speedup = cand.speedup_over(base)
+    print(f"speedup: {speedup:.3f}x ({(speedup - 1) * 100:+.1f}%)")
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from .harness.claims import evaluate_claims, render_verdicts
+
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",")]
+    verdicts = evaluate_claims(
+        workloads=workloads,
+        max_instructions=args.instructions,
+        warmup=args.warmup,
+    )
+    print(render_verdicts(verdicts))
+    return 0 if all(v.ok for v in verdicts) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "traces":
+        return _cmd_traces(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "claims":
+        return _cmd_claims(args)
+    return _cmd_figure(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

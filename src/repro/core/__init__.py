@@ -1,0 +1,43 @@
+"""The paper's contribution: the self-repairing dynamic prefetch optimizer.
+
+Pipeline: :func:`~repro.core.classify.classify_loads` partitions a trace's
+delinquent loads (Stride / Pointer / Same-Object),
+:func:`~repro.core.groups.build_groups` forms same-object groups,
+:mod:`~repro.core.insertion` weaves prefetch instructions into the trace,
+and :mod:`~repro.core.repair` adapts each group's prefetch distance as
+delinquent-load events keep arriving.  :class:`PrefetchOptimizer`
+orchestrates all of it as helper-thread jobs.
+"""
+
+from .classify import LoadClass, TraceLoad, classify_loads, collect_loads
+from .distance import DISTANCE_CAP, estimate_distance, max_distance
+from .groups import SameObjectGroup, build_groups
+from .insertion import (
+    insert_prefetches,
+    make_stride_record,
+    plan_group_offsets,
+)
+from .optimizer import OptimizationJob, OptimizerStats, PrefetchOptimizer
+from .policy import PrefetchPolicy
+from .repair import PrefetchRecord, repair
+
+__all__ = [
+    "DISTANCE_CAP",
+    "LoadClass",
+    "OptimizationJob",
+    "OptimizerStats",
+    "PrefetchOptimizer",
+    "PrefetchPolicy",
+    "PrefetchRecord",
+    "SameObjectGroup",
+    "TraceLoad",
+    "build_groups",
+    "classify_loads",
+    "collect_loads",
+    "estimate_distance",
+    "insert_prefetches",
+    "make_stride_record",
+    "max_distance",
+    "plan_group_offsets",
+    "repair",
+]

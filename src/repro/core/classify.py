@@ -1,0 +1,152 @@
+"""Delinquent-load classification (paper section 3.4.1).
+
+The optimizer partitions the delinquent loads of a hot trace into:
+
+* **Stride** — the recurrence of the load's base register within the trace
+  is a single simple arithmetic instruction (LDA/ADD/SUB) with a constant
+  and the base register itself, *or* the DLT observed the load to be
+  stride predictable (confidence 15).  The DLT path is what catches
+  pointer loads whose targets happen to be laid out at constant stride by
+  the allocator.
+* **Pointer** — not Stride, and the load's destination register is used
+  (before redefinition) as the base register of another load — including
+  the classic self-chase ``ldq r1, 0(r1)``.
+* **Unclassified** — neither; such loads are not prefetched and will be
+  marked mature.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..isa.opcodes import Opcode
+from ..trident.trace import TraceInstruction
+
+
+class LoadClass(enum.Enum):
+    STRIDE = "stride"
+    POINTER = "pointer"
+    UNCLASSIFIED = "unclassified"
+
+
+@dataclass
+class TraceLoad:
+    """One (non-synthetic) load in a trace, with dataflow context."""
+
+    index: int          # position in the trace body
+    orig_pc: int
+    base_reg: int
+    disp: int
+    dest_reg: Optional[int]
+    #: Definition-version of the base register at this point; loads with
+    #: the same (base_reg, base_version) see the same base value.
+    base_version: int
+    load_class: LoadClass = LoadClass.UNCLASSIFIED
+    stride: Optional[int] = None
+    delinquent: bool = False
+
+
+def collect_loads(body: List[TraceInstruction]) -> List[TraceLoad]:
+    """Gather the original loads of a trace with base-version context."""
+    reg_version = [0] * 32
+    loads: List[TraceLoad] = []
+    for index, tinst in enumerate(body):
+        inst = tinst.inst
+        if inst.is_load and not tinst.synthetic:
+            loads.append(
+                TraceLoad(
+                    index=index,
+                    orig_pc=tinst.orig_pc,
+                    base_reg=inst.ra,
+                    disp=inst.disp,
+                    dest_reg=inst.rd,
+                    base_version=reg_version[inst.ra],
+                )
+            )
+        dest = inst.destination_register()
+        if dest is not None:
+            reg_version[dest] += 1
+    return loads
+
+
+def _code_stride(body: List[TraceInstruction], base_reg: int) -> Optional[int]:
+    """Stride of ``base_reg``'s recurrence, from code analysis.
+
+    The trace is one loop iteration: if the register is updated by exactly
+    one simple arithmetic instruction (constant increment of itself), the
+    load recurs at that constant stride.
+    """
+    updates: List[int] = []
+    for tinst in body:
+        inst = tinst.inst
+        if tinst.synthetic:
+            continue
+        if inst.destination_register() != base_reg:
+            continue
+        op = inst.opcode
+        if op is Opcode.LDA and inst.ra == base_reg:
+            updates.append(inst.disp)
+        elif op is Opcode.ADDQ and inst.ra == base_reg and inst.imm is not None:
+            updates.append(inst.imm)
+        elif op is Opcode.SUBQ and inst.ra == base_reg and inst.imm is not None:
+            updates.append(-inst.imm)
+        else:
+            return None  # a non-simple update breaks the recurrence
+    if len(updates) == 1 and updates[0] != 0:
+        return updates[0]
+    return None
+
+
+def _is_pointer_load(
+    body: List[TraceInstruction], load: TraceLoad
+) -> bool:
+    """Destination used as a base register of a later load, before any
+    redefinition — scanning forward and then wrapping to the trace head
+    (the trace is a loop body)."""
+    dest = load.dest_reg
+    if dest is None:
+        return False
+    if dest == load.base_reg:
+        return True  # self-chasing pointer: ldq r, d(r)
+    n = len(body)
+    # Forward from just past the load, wrapping once around the loop.
+    for step in range(1, n + 1):
+        tinst = body[(load.index + step) % n]
+        inst = tinst.inst
+        if inst.is_load and inst.ra == dest:
+            return True
+        if inst.destination_register() == dest:
+            return False
+    return False
+
+
+def classify_loads(
+    body: List[TraceInstruction],
+    loads: List[TraceLoad],
+    delinquent_pcs: set,
+    dlt,
+) -> List[TraceLoad]:
+    """Assign a :class:`LoadClass` (and stride) to every load.
+
+    ``body`` must be the same instruction list ``loads`` was collected
+    from.  ``dlt`` provides the hardware's stride observations; it may be
+    None (pure code analysis — used by tests and ablations).
+    """
+    stride_cache: Dict[int, Optional[int]] = {}
+    for load in loads:
+        load.delinquent = load.orig_pc in delinquent_pcs
+        if load.base_reg not in stride_cache:
+            stride_cache[load.base_reg] = _code_stride(body, load.base_reg)
+        stride = stride_cache[load.base_reg]
+        if stride is None and dlt is not None:
+            stride = dlt.predicted_stride(load.orig_pc)
+        if stride is not None:
+            load.load_class = LoadClass.STRIDE
+            load.stride = stride
+        elif _is_pointer_load(body, load):
+            load.load_class = LoadClass.POINTER
+        else:
+            load.load_class = LoadClass.UNCLASSIFIED
+    return loads

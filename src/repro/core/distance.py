@@ -1,0 +1,50 @@
+"""Prefetch-distance arithmetic (paper section 3.5).
+
+Two quantities:
+
+* the **estimated distance** of equation (2) — what ADORE-style systems
+  compute once and freeze::
+
+      distance = average load miss latency / average cycles per iteration
+
+* the **maximal distance** of section 3.5.2 — the repair search's upper
+  bound::
+
+      max distance = memory access latency / trace minimal execution time
+
+Both are clamped to ``[1, cap]``; the cap is a sanity bound for degenerate
+traces (a two-instruction trace would otherwise yield distances in the
+hundreds, displacing half the cache).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Upper clamp on any prefetch distance.
+DISTANCE_CAP = 64
+
+
+def estimate_distance(
+    avg_miss_latency: float,
+    avg_trace_cycles: Optional[float],
+    cap: int = DISTANCE_CAP,
+) -> int:
+    """Equation (2).  Falls back to 1 when no trace timing exists yet."""
+    if not avg_trace_cycles or avg_trace_cycles <= 0:
+        return 1
+    distance = round(avg_miss_latency / avg_trace_cycles)
+    return max(1, min(cap, distance))
+
+
+def max_distance(
+    memory_latency: int,
+    trace_min_execution_time: Optional[float],
+    cap: int = DISTANCE_CAP,
+) -> int:
+    """Section 3.5.2's repair bound.  At least 2 so a repair search always
+    has somewhere to go from the initial distance of 1."""
+    if not trace_min_execution_time or trace_min_execution_time <= 0:
+        return 2
+    bound = int(memory_latency / trace_min_execution_time)
+    return max(2, min(cap, bound))

@@ -1,0 +1,115 @@
+"""Same-object grouping (paper section 3.4.1, "Same Object").
+
+Loads that share a live base register address fields of the same object,
+so one prefetch per touched cache block covers them all, and the
+self-repairing optimizer can repair the whole group with a single event
+rather than one event per field.
+
+A group is keyed by (base register, definition version): all members see
+the same base value.  A group is *stride predictable* when at least one
+delinquent member is classified Stride; it is a *pointer group* when its
+base is produced by a pointer load.  Under the BASIC policy (no grouping)
+every delinquent load forms its own degenerate group — the paper's
+"degenerate case is that a group can consist of only one single load".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .classify import LoadClass, TraceLoad
+
+
+@dataclass
+class SameObjectGroup:
+    """A set of loads off one live base register."""
+
+    base_reg: int
+    base_version: int
+    members: List[TraceLoad] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.base_reg, self.base_version)
+
+    @property
+    def stride(self) -> Optional[int]:
+        """The group's stride: taken from a delinquent Stride member,
+        falling back to any Stride member."""
+        fallback = None
+        for load in self.members:
+            if load.load_class is LoadClass.STRIDE and load.stride:
+                if load.delinquent:
+                    return load.stride
+                if fallback is None:
+                    fallback = load.stride
+        return fallback
+
+    @property
+    def stride_predictable(self) -> bool:
+        return self.stride is not None
+
+    @property
+    def delinquent_members(self) -> List[TraceLoad]:
+        return [m for m in self.members if m.delinquent]
+
+    @property
+    def load_pcs(self) -> Tuple[int, ...]:
+        return tuple(sorted({m.orig_pc for m in self.members}))
+
+    @property
+    def delinquent_pcs(self) -> Tuple[int, ...]:
+        return tuple(sorted({m.orig_pc for m in self.delinquent_members}))
+
+    @property
+    def first_index(self) -> int:
+        """Trace-body position of the earliest member (insertion point)."""
+        return min(m.index for m in self.members)
+
+    def sorted_offsets(self) -> List[int]:
+        """Distinct *delinquent* member displacements, ascending.
+
+        Section 3.4.2 walks the delinquent loads' offsets; non-delinquent
+        same-object neighbours are covered incidentally when they share a
+        line, but do not earn prefetches of their own."""
+        offsets = sorted({m.disp for m in self.delinquent_members})
+        if offsets:
+            return offsets
+        return sorted({m.disp for m in self.members})
+
+
+def build_groups(
+    loads: List[TraceLoad],
+    grouping: bool = True,
+) -> List[SameObjectGroup]:
+    """Partition classified loads into same-object groups.
+
+    Only groups containing at least one *delinquent* load are returned —
+    a group exists to serve delinquent loads; covering their non-delinquent
+    same-object neighbours is the bonus.  With ``grouping`` disabled
+    (BASIC policy) each delinquent load becomes a singleton group.
+    """
+    if not grouping:
+        return [
+            SameObjectGroup(
+                base_reg=load.base_reg,
+                base_version=load.base_version,
+                members=[load],
+            )
+            for load in loads
+            if load.delinquent
+        ]
+
+    by_key: Dict[Tuple[int, int], SameObjectGroup] = {}
+    for load in loads:
+        key = (load.base_reg, load.base_version)
+        group = by_key.get(key)
+        if group is None:
+            group = SameObjectGroup(
+                base_reg=load.base_reg, base_version=load.base_version
+            )
+            by_key[key] = group
+        group.members.append(load)
+
+    return [g for g in by_key.values() if g.delinquent_members]

@@ -1,0 +1,195 @@
+"""Prefetch insertion into hot traces (paper sections 3.4.2–3.4.3).
+
+Two transformations:
+
+* **Stride-based same-object prefetching** — per group, emit a prefetch at
+  the minimum member offset (plus ``stride × distance``); walk the
+  remaining member offsets in ascending order, skipping any within a cache
+  line of the previous prefetch; after skipped loads, prefetch one extra
+  cache block (the skipped offset may straddle into the next line).
+* **Pointer prefetching** — after a delinquent pointer load
+  ``ldq p, d(p)``, insert ``ldq_nf s, d(p); prefetch 0(s)``: the
+  non-faulting dereference touches the next object's line *and* yields the
+  pointer two iterations out for the prefetch.  Scratch registers come
+  from the optimizer-reserved set.
+
+Insertion always starts from the trace's *base body* (the original,
+prefetch-free instruction sequence), so re-optimization regenerates rather
+than stacking prefetch upon prefetch; existing repair state is carried
+over by the optimizer through record inheritance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.registers import OPTIMIZER_SCRATCH_REGISTERS
+from ..trident.trace import TraceInstruction
+from .classify import TraceLoad
+from .groups import SameObjectGroup
+from .repair import PrefetchRecord
+
+
+def plan_group_offsets(
+    sorted_offsets: Sequence[int], line_size: int
+) -> List[int]:
+    """The section-3.4.2 skip algorithm: which offsets get a prefetch.
+
+    Given the group's member displacements in ascending order, returns the
+    offsets to prefetch (before the stride×distance displacement is
+    added).
+    """
+    emitted: List[int] = []
+    prev: Optional[int] = None
+    pending_extra = False
+    for disp in sorted_offsets:
+        # A pending extra block is flushed before moving on — and the
+        # flushed block becomes the new coverage anchor, so an offset
+        # falling inside *it* is skipped too (each block prefetched once).
+        if pending_extra and prev is not None and disp - prev >= line_size:
+            prev = prev + line_size
+            emitted.append(prev)
+            pending_extra = False
+        if prev is None or disp - prev >= line_size:
+            emitted.append(disp)
+            prev = disp
+        else:
+            pending_extra = True  # covered by the previous prefetch's line
+    if pending_extra and prev is not None:
+        emitted.append(prev + line_size)
+    return emitted
+
+
+def make_stride_record(
+    group: SameObjectGroup,
+    distance: int,
+    line_size: int,
+) -> PrefetchRecord:
+    """Build the repair record (and offsets) for one stride group.
+
+    Only the group members whose displacement falls within a line of a
+    planned prefetch are bound to the record (``load_pcs``): a member the
+    plan does not cover (it was not delinquent when the plan was made)
+    must stay unbound so that, if it later turns delinquent, the
+    optimizer regenerates the trace with a wider plan instead of
+    pointlessly repairing a prefetch that never touches its line.
+    """
+    offsets = plan_group_offsets(group.sorted_offsets(), line_size)
+    covered = tuple(
+        sorted(
+            {
+                m.orig_pc
+                for m in group.members
+                if any(0 <= m.disp - o < line_size for o in offsets)
+            }
+        )
+    )
+    return PrefetchRecord(
+        group_key=group.load_pcs,
+        load_pcs=covered or group.load_pcs,
+        base_reg=group.base_reg,
+        stride=group.stride or 0,
+        distance=distance,
+        base_offsets=tuple(offsets),
+        kind="stride",
+    )
+
+
+def _emit_stride_prefetches(record: PrefetchRecord) -> List[TraceInstruction]:
+    """Materialise a record's prefetch instructions."""
+    out: List[TraceInstruction] = []
+    record.instructions = []
+    for offset in record.base_offsets:
+        inst = Instruction(
+            Opcode.PREFETCH,
+            ra=record.base_reg,
+            disp=offset + record.stride * record.distance,
+            meta={"record": record},
+        )
+        record.instructions.append(inst)
+        out.append(
+            TraceInstruction(
+                inst=inst,
+                orig_pc=record.load_pcs[0],
+                synthetic=True,
+            )
+        )
+    return out
+
+
+def _emit_pointer_prefetch(
+    load: TraceLoad, scratch: int
+) -> Tuple[List[TraceInstruction], PrefetchRecord]:
+    """The section-3.4.3 double dereference for one pointer load."""
+    record = PrefetchRecord(
+        group_key=(load.orig_pc,),
+        load_pcs=(load.orig_pc,),
+        base_reg=load.dest_reg if load.dest_reg is not None else load.base_reg,
+        stride=0,
+        distance=1,
+        base_offsets=(0,),
+        kind="pointer",
+    )
+    deref = Instruction(
+        Opcode.LDQ_NF,
+        rd=scratch,
+        ra=load.dest_reg,
+        disp=load.disp,
+        meta={"record": record},
+    )
+    prefetch = Instruction(
+        Opcode.PREFETCH, ra=scratch, disp=0, meta={"record": record}
+    )
+    record.instructions = [prefetch]
+    body = [
+        TraceInstruction(inst=deref, orig_pc=load.orig_pc, synthetic=True),
+        TraceInstruction(inst=prefetch, orig_pc=load.orig_pc, synthetic=True),
+    ]
+    return body, record
+
+
+def insert_prefetches(
+    base_body: List[TraceInstruction],
+    stride_records: List[Tuple[SameObjectGroup, PrefetchRecord]],
+    pointer_loads: List[TraceLoad],
+) -> Tuple[List[TraceInstruction], Dict[int, PrefetchRecord]]:
+    """Rebuild a trace body with prefetches woven in.
+
+    * each stride group's prefetches go immediately before its first
+      member load (the base register is live there);
+    * each pointer load's dereference pair goes immediately after it.
+
+    Returns (new body, load-pc -> record map).
+    """
+    before: Dict[int, List[TraceInstruction]] = {}
+    after: Dict[int, List[TraceInstruction]] = {}
+    records: Dict[int, PrefetchRecord] = {}
+
+    for group, record in stride_records:
+        emitted = _emit_stride_prefetches(record)
+        before.setdefault(group.first_index, []).extend(emitted)
+        for pc in record.load_pcs:
+            records[pc] = record
+
+    scratch_cycle = 0
+    for load in pointer_loads:
+        if load.orig_pc in records or load.dest_reg is None:
+            continue
+        scratch = OPTIMIZER_SCRATCH_REGISTERS[
+            scratch_cycle % len(OPTIMIZER_SCRATCH_REGISTERS)
+        ]
+        scratch_cycle += 1
+        emitted, record = _emit_pointer_prefetch(load, scratch)
+        after.setdefault(load.index, []).extend(emitted)
+        records[load.orig_pc] = record
+
+    new_body: List[TraceInstruction] = []
+    for index, tinst in enumerate(base_body):
+        if index in before:
+            new_body.extend(before[index])
+        new_body.append(tinst)
+        if index in after:
+            new_body.extend(after[index])
+    return new_body, records

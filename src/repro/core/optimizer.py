@@ -1,0 +1,397 @@
+"""The dynamic prefetch optimizer (paper section 3.4–3.5).
+
+This is the code the helper thread runs on a delinquent-load event.  The
+decision tree, per the paper:
+
+1. Gather *all* currently delinquent loads in the event's trace (the event
+   took thousands of cycles to be serviced; siblings may have crossed the
+   threshold meanwhile — partial windows included).
+2. If the event's load has **no prefetch yet** → classification →
+   same-object grouping → prefetch insertion → a regenerated trace is
+   linked in place of the old one.  Initial distances depend on the
+   policy: the estimated distance of equation (2) for BASIC/WHOLE_OBJECT,
+   1 for the self-repairing policies.
+3. If the load **already has a prefetch** and the policy repairs →
+   adjust the group's distance by ±1 (see :mod:`repro.core.repair`) and
+   patch the live prefetch instructions; no regeneration.
+4. Loads that cannot be prefetched or repaired are marked *mature* in the
+   DLT so they stop firing events.
+
+The optimizer returns an *apply* closure plus a work-cycle estimate; the
+Trident runtime charges the helper thread and applies the effects when the
+helper's time is up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..config import MachineConfig, PrefetchPolicy, TridentConfig
+from ..trident.code_cache import CodeCache
+from ..trident.dlt import DelinquentLoadTable
+from ..trident.trace import HotTrace
+from ..trident.watch_table import WatchTable
+from .classify import LoadClass, TraceLoad, classify_loads, collect_loads
+from .distance import estimate_distance, max_distance
+from .groups import SameObjectGroup, build_groups
+from .insertion import insert_prefetches, make_stride_record
+from .repair import PrefetchRecord, repair
+
+
+@dataclass
+class OptimizerStats:
+    """What the prefetch optimizer did over a run."""
+
+    insertion_jobs: int = 0
+    repair_jobs: int = 0
+    traces_regenerated: int = 0
+    prefetches_inserted: int = 0
+    pointer_prefetches_inserted: int = 0
+    loads_targeted: Set[int] = field(default_factory=set)
+    loads_matured: int = 0
+    repairs_applied: int = 0
+    distance_increments: int = 0
+    distance_decrements: int = 0
+
+
+@dataclass
+class OptimizationJob:
+    """What the runtime schedules on the helper thread."""
+
+    apply: Callable[[], None]
+    work_cycles: float
+    kind: str
+
+
+class PrefetchOptimizer:
+    """Implements prefetch insertion and self-repair over hot traces."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        trident: TridentConfig,
+        policy: PrefetchPolicy,
+        dlt: DelinquentLoadTable,
+        watch_table: WatchTable,
+        code_cache: CodeCache,
+        initial_distance_mode: Optional[str] = None,
+    ) -> None:
+        self.machine = machine
+        self.trident = trident
+        self.policy = policy
+        self.dlt = dlt
+        self.watch_table = watch_table
+        self.code_cache = code_cache
+        #: "one" (paper default for self-repairing) or "estimate"
+        #: (equation 2; also the paper's explored alternative for the
+        #: adaptive scheme — the ablation of section 5.3).
+        if initial_distance_mode is None:
+            initial_distance_mode = (
+                "one" if policy.adaptive_repair else "estimate"
+            )
+        self.initial_distance_mode = initial_distance_mode
+        self.stats = OptimizerStats()
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+    def process_delinquent_load(
+        self, trace: HotTrace, load_pc: int
+    ) -> Optional[OptimizationJob]:
+        """Handle one delinquent-load event for ``trace``.
+
+        Returns the job to run on the helper thread, or None when there is
+        nothing to do (the runtime still clears the trace's optimization
+        flag).
+        """
+        if not self.policy.inserts_prefetches:
+            # Monitoring-only configuration: acknowledge the load so it
+            # stops firing, insert nothing.
+            return self._make_mature_job([load_pc], cost=0.0)
+        records: Dict[int, PrefetchRecord] = trace.meta.get("records", {})
+        record = records.get(load_pc)
+        if record is not None:
+            if self.policy.adaptive_repair and record.kind == "stride":
+                return self._make_repair_job(trace, load_pc, record)
+            # Fixed-distance policies (and pointer prefetches, which have
+            # no distance to tune): one shot, then mature.
+            return self._make_mature_job([load_pc], cost=0.0)
+        return self._make_insertion_job(trace, load_pc)
+
+    def _delinquent_records(
+        self, trace: HotTrace, event_pc: int
+    ) -> List[PrefetchRecord]:
+        """The event's record plus every other repairable record in the
+        trace with a currently-delinquent member.
+
+        Section 3.4.1: by the time the helper runs, "the optimizer first
+        checks if there are other loads that need to be prefetched in the
+        same hot trace" — the repair path does the same, so one helper
+        dispatch (and its 2000-cycle startup) services every group that
+        needs adjusting.
+        """
+        records: Dict[int, PrefetchRecord] = trace.meta.get("records", {})
+        ordered: List[PrefetchRecord] = []
+        seen = set()
+        event_record = records.get(event_pc)
+        if event_record is not None:
+            ordered.append(event_record)
+            seen.add(id(event_record))
+        for record in records.values():
+            if id(record) in seen or record.kind != "stride":
+                continue
+            if record.mature:
+                continue
+            if any(self.dlt.is_delinquent_now(pc) for pc in record.load_pcs):
+                ordered.append(record)
+                seen.add(id(record))
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Insertion.
+    # ------------------------------------------------------------------
+    def _gather_delinquent_pcs(self, body, event_pc: int) -> Set[int]:
+        pcs = {event_pc}
+        for tinst in body:
+            if tinst.inst.is_load and not tinst.synthetic:
+                if self.dlt.is_delinquent_now(tinst.orig_pc):
+                    pcs.add(tinst.orig_pc)
+        return pcs
+
+    def _initial_distance(self, pcs: Tuple[int, ...], trace: HotTrace) -> int:
+        if self.initial_distance_mode == "one":
+            return 1
+        # Equation (2): average miss latency over the group's delinquent
+        # loads divided by the trace's average iteration time.
+        entry_times = self.watch_table.lookup(trace.trace_id)
+        avg_cycles = (
+            entry_times.average_execution_time()
+            if entry_times is not None
+            else None
+        )
+        latencies = []
+        for pc in pcs:
+            dlt_entry = self.dlt.lookup(pc)
+            if dlt_entry is not None and dlt_entry.miss_counter:
+                latencies.append(dlt_entry.average_miss_latency())
+        if not latencies:
+            return 1
+        return estimate_distance(
+            sum(latencies) / len(latencies), avg_cycles
+        )
+
+    def _make_insertion_job(
+        self, trace: HotTrace, event_pc: int
+    ) -> Optional[OptimizationJob]:
+        base_body = [t.copy() for t in trace.body if not t.synthetic]
+        delinquent_pcs = self._gather_delinquent_pcs(base_body, event_pc)
+        loads = collect_loads(base_body)
+        classify_loads(base_body, loads, delinquent_pcs, self.dlt)
+
+        groups = build_groups(
+            loads, grouping=self.policy.same_object_grouping
+        )
+        old_records: Dict[int, PrefetchRecord] = trace.meta.get("records", {})
+
+        stride_records: List[Tuple[SameObjectGroup, PrefetchRecord]] = []
+        pointer_loads: List[TraceLoad] = []
+        matured: List[int] = []
+
+        for group in groups:
+            if group.stride_predictable:
+                record = make_stride_record(
+                    group,
+                    distance=self._initial_distance(
+                        group.delinquent_pcs, trace
+                    ),
+                    line_size=self.machine.line_size,
+                )
+                inherited = self._inherit_record(group, old_records)
+                if inherited is not None:
+                    record.distance = inherited.distance
+                    record.prev_avg_latency = inherited.prev_avg_latency
+                    record.repairs_left = inherited.repairs_left
+                    record.repairs_done = inherited.repairs_done
+                    record.max_distance = inherited.max_distance
+                    record.history = list(inherited.history)
+                stride_records.append((group, record))
+            else:
+                # Not stride predictable: pointer members get the double
+                # dereference; anything else cannot be prefetched.
+                for member in group.delinquent_members:
+                    if member.load_class is LoadClass.POINTER:
+                        pointer_loads.append(member)
+                    else:
+                        matured.append(member.orig_pc)
+
+        # Delinquent loads outside every group (grouping disabled drops
+        # non-delinquent neighbours, so this only catches unclassified
+        # singletons under BASIC).
+        grouped_pcs = set()
+        for group in groups:
+            grouped_pcs.update(group.load_pcs)
+        for load in loads:
+            if load.delinquent and load.orig_pc not in grouped_pcs:
+                if load.load_class is LoadClass.POINTER:
+                    pointer_loads.append(load)
+                else:
+                    matured.append(load.orig_pc)
+
+        if not stride_records and not pointer_loads:
+            return self._make_mature_job(
+                matured or [event_pc],
+                cost=len(base_body)
+                * self.trident.optimizer_cycles_per_instruction,
+            )
+
+        new_body, records = insert_prefetches(
+            base_body, stride_records, pointer_loads
+        )
+        new_trace = trace.derive(new_body)
+        new_trace.meta["records"] = records
+
+        work = (
+            len(new_body) * self.trident.optimizer_cycles_per_instruction
+        )
+        dlt = self.dlt
+        stats = self.stats
+        watch = self.watch_table
+        code_cache = self.code_cache
+
+        def apply() -> None:
+            stats.insertion_jobs += 1
+            stats.traces_regenerated += 1
+            stats.prefetches_inserted += sum(
+                len(rec.base_offsets)
+                for _g, rec in stride_records
+            )
+            stats.pointer_prefetches_inserted += len(pointer_loads)
+            stats.loads_targeted.update(records.keys())
+            stats.loads_matured += len(matured)
+            for pc in matured:
+                dlt.set_mature(pc)
+            for pc in delinquent_pcs:
+                if pc not in matured:
+                    dlt.clear_window(pc)
+            # Initialise repair budgets from the trace's best pass.
+            self._refresh_max_distance(new_trace)
+            previous = code_cache.link(new_trace)
+            if previous is not None:
+                watch.remove(previous.trace_id)
+            entry = watch.register(
+                new_trace.trace_id, new_trace.head_pc, len(new_trace.body)
+            )
+            # Non-adaptive policies never repair: a single shot per load.
+            if not self.policy.adaptive_repair:
+                for pc in records:
+                    dlt.set_mature(pc)
+
+        return OptimizationJob(apply=apply, work_cycles=work, kind="insert")
+
+    @staticmethod
+    def _inherit_record(
+        group: SameObjectGroup, old_records: Dict[int, PrefetchRecord]
+    ) -> Optional[PrefetchRecord]:
+        """Carry repair state across a trace regeneration."""
+        for pc in group.load_pcs:
+            record = old_records.get(pc)
+            if record is not None and record.kind == "stride":
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # Repair.
+    # ------------------------------------------------------------------
+    def _refresh_max_distance(self, trace: HotTrace) -> None:
+        """Recompute every record's maximal distance (section 3.5.2)."""
+        min_time = self.watch_table.min_execution_time(trace.trace_id)
+        records: Dict[int, PrefetchRecord] = trace.meta.get("records", {})
+        seen = set()
+        for record in records.values():
+            if id(record) in seen:
+                continue
+            seen.add(id(record))
+            record.set_budget_from_max(
+                max_distance(self.machine.memory_latency, min_time)
+            )
+
+    def _repair_one(self, trace: HotTrace, record: PrefetchRecord) -> None:
+        """Apply one repair step to ``record`` using its DLT metrics."""
+        dlt = self.dlt
+        stats = self.stats
+        if record.mature:
+            for pc in record.load_pcs:
+                dlt.set_mature(pc)
+            return
+        # The maximal distance tracks the trace's best observed pass.
+        min_time = self.watch_table.min_execution_time(trace.trace_id)
+        record.set_budget_from_max(
+            max_distance(self.machine.memory_latency, min_time)
+        )
+        # Measure the group through its worst currently-monitored member
+        # (the member that keeps it delinquent).
+        current = None
+        for pc in record.load_pcs:
+            entry = dlt.lookup(pc)
+            if entry is not None and entry.access_counter:
+                latency = entry.average_access_latency(
+                    self.machine.l1.latency
+                )
+                if current is None or latency > current:
+                    current = latency
+        if current is None:
+            return
+        if record.settling:
+            # The window that just ended straddled the previous distance
+            # change; discard it and measure a clean one.
+            record.settling = False
+            for pc in record.load_pcs:
+                dlt.clear_window(pc)
+            return
+        old_distance = record.distance
+        matured = repair(record, current)
+        record.settling = record.distance != old_distance
+        if record.distance > old_distance:
+            stats.distance_increments += 1
+        elif record.distance < old_distance:
+            stats.distance_decrements += 1
+        stats.repairs_applied += 1
+        for pc in record.load_pcs:
+            if matured:
+                dlt.set_mature(pc)
+            else:
+                dlt.clear_window(pc)
+        if matured:
+            stats.loads_matured += len(record.load_pcs)
+
+    def _make_repair_job(
+        self, trace: HotTrace, load_pc: int, record: PrefetchRecord
+    ) -> OptimizationJob:
+        stats = self.stats
+        to_repair = self._delinquent_records(trace, load_pc)
+
+        def apply() -> None:
+            stats.repair_jobs += 1
+            for rec in to_repair:
+                self._repair_one(trace, rec)
+
+        return OptimizationJob(
+            apply=apply,
+            work_cycles=self.trident.repair_cycles * max(1, len(to_repair)),
+            kind="repair",
+        )
+
+    # ------------------------------------------------------------------
+    def _make_mature_job(
+        self, pcs: List[int], cost: float
+    ) -> OptimizationJob:
+        dlt = self.dlt
+        stats = self.stats
+
+        def apply() -> None:
+            for pc in pcs:
+                dlt.set_mature(pc)
+            stats.loads_matured += len(pcs)
+
+        return OptimizationJob(apply=apply, work_cycles=cost, kind="mature")

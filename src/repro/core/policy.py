@@ -1,0 +1,10 @@
+"""Policy re-export.
+
+:class:`~repro.config.PrefetchPolicy` lives in :mod:`repro.config` (it is
+shared by the machine setup); this module re-exports it so the paper's
+contribution package is self-contained for readers.
+"""
+
+from ..config import PrefetchPolicy
+
+__all__ = ["PrefetchPolicy"]

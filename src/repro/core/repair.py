@@ -1,0 +1,206 @@
+"""Self-repair state and the distance-adjustment rule (sections 3.5.1–2).
+
+Every inserted stride prefetch (one per same-object group) owns a
+:class:`PrefetchRecord` — the "relevant information from all delinquent
+loads ... stored in a memory buffer used by the optimizer" of the paper:
+the current distance, the repair budget, and the previous average access
+latency.
+
+The repair rule, verbatim from section 3.5.2:
+
+* increase the distance by 1, up to the maximal distance, because more
+  lead time should reduce the load's latency;
+* but compute the load's average access latency each repair, and when it
+  is observed to *increase* (the prefetch now displaces useful data, or
+  runs past the stream), step the distance back down by 1;
+* budget the search: ``2 × max distance`` repairs, then set the mature
+  flag and stop.
+
+Repairing patches the live ``PREFETCH`` instruction objects in place —
+``disp = base_offset + stride × distance`` — no trace regeneration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+
+#: Relative increase in average access latency that counts as "observed to
+#: start to increase" (section 3.5.2).  Latency samples are noisy (bus
+#: contention, window phase); without a tolerance the search dithers.
+LATENCY_INCREASE_TOLERANCE = 1.10
+
+#: Consecutive boundary-pinned repairs before maturing.
+PIN_LIMIT = 3
+
+#: Window of recent repairs inspected for a two-distance oscillation.
+OSCILLATION_WINDOW = 6
+
+#: Longer horizon: a climb that has bought no improvement across this many
+#: repairs is declared done wherever it is.  Must comfortably exceed the
+#: stream buffers' 8-entry lead, through which a climb sees flat latency
+#: before its gains begin.
+STAGNATION_WINDOW = 12
+
+
+@dataclass
+class PrefetchRecord:
+    """Repair bookkeeping for one same-object group's prefetches."""
+
+    group_key: Tuple[int, ...]       # the group's load PCs (identity)
+    load_pcs: Tuple[int, ...]        # all loads this record serves
+    base_reg: int
+    stride: int
+    distance: int
+    #: One entry per emitted PREFETCH: the group-relative offset it covers.
+    base_offsets: Tuple[int, ...]
+    #: The live instruction objects inside the linked trace.
+    instructions: List[Instruction] = field(default_factory=list)
+    max_distance: int = 2
+    repairs_left: int = 4
+    prev_avg_latency: Optional[float] = None
+    repairs_done: int = 0
+    kind: str = "stride"             # "stride" or "pointer"
+    mature: bool = False
+    #: Consecutive repairs spent pinned at a search boundary (distance 1
+    #: or the maximal distance).
+    pinned_repairs: int = 0
+    #: Consecutive windows in which the latency rose beyond tolerance.
+    consecutive_increases: int = 0
+    #: True right after a distance change: the next monitoring window
+    #: straddles the transition (prefetches in flight were issued under
+    #: the old distance and pace) and must not steer the search.
+    settling: bool = False
+    #: History of (distance, avg latency) pairs — observability for the
+    #: examples and the distance-search ablation.
+    history: List[Tuple[int, float]] = field(default_factory=list)
+
+    def apply_distance(self) -> None:
+        """Patch the prefetch instruction bits with the current distance."""
+        for inst, offset in zip(self.instructions, self.base_offsets):
+            inst.disp = offset + self.stride * self.distance
+
+    def set_budget_from_max(self, max_distance: int) -> None:
+        """Initialise the repair budget to 2 × max distance (section
+        3.5.2), never shrinking an existing budget mid-search."""
+        self.max_distance = max_distance
+        budget = 2 * max_distance
+        if budget > self.repairs_left:
+            self.repairs_left = budget
+
+
+def repair(record: PrefetchRecord, current_avg_latency: float) -> bool:
+    """One repair step; returns True when the record matured.
+
+    ``current_avg_latency`` is the group's average access latency over the
+    DLT window that fired the event.
+    """
+    if record.mature:
+        return True
+    prev = record.prev_avg_latency
+    old_distance = record.distance
+    increased = (
+        prev is not None
+        and current_avg_latency > prev * LATENCY_INCREASE_TOLERANCE
+    )
+    if increased:
+        record.consecutive_increases += 1
+    else:
+        record.consecutive_increases = 0
+    # Window-to-window latency is noisy (other loads' repairs, stream
+    # buffer phase); a single bad sample must not unwind the climb, so
+    # the step-back requires two increases in a row.
+    if record.consecutive_increases >= 2 and record.distance > 1:
+        record.distance -= 1
+        record.consecutive_increases = 0
+    elif record.distance < record.max_distance:
+        record.distance += 1
+    # else: at the cap and not regressing — hold position.
+    record.prev_avg_latency = current_avg_latency
+    record.repairs_done += 1
+    record.repairs_left -= 1
+    # History pairs each *measured* latency with the distance it was
+    # measured at (the distance before this repair's move).
+    record.history.append((old_distance, current_avg_latency))
+    record.apply_distance()
+
+    # Search-exhaustion detection (engineering additions to section
+    # 3.5.2's 2x budget rule; the paper's 100M-instruction runs can
+    # afford to burn the budget one window at a time, ours cannot):
+    #
+    # * a search pinned at a boundary (distance 1, or the maximal
+    #   distance, with the latency not moving) is done;
+    # * a search ping-ponging between two adjacent distances has found
+    #   the knee of the latency curve — settle at the better of the two.
+    if record.distance == old_distance and (
+        record.distance >= record.max_distance or record.distance <= 1
+    ):
+        record.pinned_repairs += 1
+    else:
+        record.pinned_repairs = 0
+    if record.pinned_repairs >= PIN_LIMIT:
+        record.mature = True
+    elif _settle_oscillation(record):
+        record.mature = True
+    elif _settle_stagnation(record):
+        record.mature = True
+    if record.repairs_left <= 0:
+        record.mature = True
+    return record.mature
+
+
+def _settle_oscillation(record: PrefetchRecord) -> bool:
+    """Detect a search that has stopped making progress — circling a
+    small set of distances with no latency improvement — and park it at
+    the distance with the best observed mean latency.
+
+    This is the practical termination of section 3.5.1's "repeated until
+    the prefetch distance causes the load to stop triggering delinquent
+    load events": a load that stays delinquent at its best achievable
+    distance would otherwise grind through the whole 2x budget.
+    """
+    recent = record.history[-OSCILLATION_WINDOW:]
+    if len(recent) < OSCILLATION_WINDOW:
+        return False
+    distances = [d for d, _lat in recent]
+    if max(distances) - min(distances) > 2:
+        return False  # still travelling
+    if abs(distances[-1] - distances[0]) > 1:
+        return False  # net drift: the climb is still going somewhere
+    half = OSCILLATION_WINDOW // 2
+    older = [lat for _d, lat in recent[:half]]
+    newer = [lat for _d, lat in recent[half:]]
+    if sum(newer) / half < 0.98 * (sum(older) / half):
+        return False  # still improving
+    _park_at_best(record, recent)
+    return True
+
+
+def _settle_stagnation(record: PrefetchRecord) -> bool:
+    """A long climb with no latency improvement anywhere in the last
+    STAGNATION_WINDOW repairs is not going to find one (the hardware
+    prefetcher already covers the load, or the bottleneck is elsewhere).
+    Park at the best distance seen in that window."""
+    recent = record.history[-STAGNATION_WINDOW:]
+    if len(recent) < STAGNATION_WINDOW:
+        return False
+    half = STAGNATION_WINDOW // 2
+    older = [lat for _d, lat in recent[:half]]
+    newer = [lat for _d, lat in recent[half:]]
+    if sum(newer) / half < 0.98 * (sum(older) / half):
+        return False
+    _park_at_best(record, recent)
+    return True
+
+
+def _park_at_best(record: PrefetchRecord, samples) -> None:
+    """Set the record to the distance with the best mean latency among
+    ``samples`` (single samples are too noisy to trust)."""
+    means = {}
+    for d in {dd for dd, _lat in samples}:
+        observed = [lat for dd, lat in samples if dd == d]
+        means[d] = sum(observed) / len(observed)
+    record.distance = min(means, key=means.get)
+    record.apply_distance()

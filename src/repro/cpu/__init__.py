@@ -1,0 +1,7 @@
+"""Processor substrate: thread contexts, functional executor, timing core."""
+
+from .context import ThreadContext
+from .core import CoreStats, SMTCore
+from .executor import ExecResult, Executor
+
+__all__ = ["CoreStats", "ExecResult", "Executor", "SMTCore", "ThreadContext"]

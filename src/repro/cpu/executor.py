@@ -1,0 +1,154 @@
+"""Functional execution of every opcode.
+
+The executor changes architectural state (registers, data memory) and
+reports what the timing model needs: the effective address of memory
+operations and the direction of branches.  It never touches the cache
+hierarchy — timing is the core's job.
+
+``ExecResult`` is a single mutable object reused across calls to avoid a
+per-instruction allocation; callers must consume it before the next
+``execute``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.registers import ZERO_REGISTER
+from ..memory.mainmem import DataMemory
+from .context import ThreadContext
+
+
+#: Integer results wrap to signed 64 bits, as on Alpha.  (Without this,
+#: multiply recurrences in the workloads grow into unbounded bignums.)
+_U64 = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def _wrap64(value: int) -> int:
+    value &= _U64
+    if value & _SIGN:
+        value -= 1 << 64
+    return value
+
+
+class ExecResult:
+    """Outcome of one functional step (reused; see module docstring)."""
+
+    __slots__ = ("ea", "taken", "halted", "jump_target")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.ea: Optional[int] = None
+        self.taken: Optional[bool] = None
+        self.halted = False
+        self.jump_target: Optional[int] = None
+
+
+class Executor:
+    """Executes instructions against a context and data memory."""
+
+    def __init__(self, memory: DataMemory) -> None:
+        self.memory = memory
+        self.result = ExecResult()
+
+    def execute(self, inst: Instruction, ctx: ThreadContext) -> ExecResult:
+        """Execute ``inst``; returns the shared :class:`ExecResult`.
+
+        Control flow is *reported*, not applied: branches set
+        ``result.taken`` (and ``result.jump_target`` for JMP) and the
+        caller decides the next PC, because trace execution and original
+        execution handle branches differently.
+        """
+        result = self.result
+        result.reset()
+        regs = ctx.regs
+        op = inst.opcode
+
+        if op is Opcode.LDQ:
+            ea = int(regs[inst.ra]) + inst.disp
+            result.ea = ea
+            if inst.rd != ZERO_REGISTER:
+                regs[inst.rd] = self.memory.read(ea)
+        elif op is Opcode.LDQ_NF:
+            ea = int(regs[inst.ra]) + inst.disp
+            result.ea = ea
+            if inst.rd != ZERO_REGISTER:
+                regs[inst.rd] = self.memory.read_quiet(ea)
+        elif op is Opcode.STQ:
+            ea = int(regs[inst.ra]) + inst.disp
+            result.ea = ea
+            self.memory.write(ea, regs[inst.rd])
+        elif op is Opcode.PREFETCH:
+            result.ea = int(regs[inst.ra]) + inst.disp
+        elif op is Opcode.LDA:
+            if inst.rd != ZERO_REGISTER:
+                regs[inst.rd] = int(regs[inst.ra]) + inst.disp
+        elif op is Opcode.MOVE:
+            if inst.rd != ZERO_REGISTER:
+                regs[inst.rd] = regs[inst.ra]
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            result.halted = True
+            ctx.halted = True
+        elif op is Opcode.BR:
+            result.taken = True
+        elif op is Opcode.BEQ:
+            result.taken = regs[inst.ra] == 0
+        elif op is Opcode.BNE:
+            result.taken = regs[inst.ra] != 0
+        elif op is Opcode.BLT:
+            result.taken = regs[inst.ra] < 0
+        elif op is Opcode.BGE:
+            result.taken = regs[inst.ra] >= 0
+        elif op is Opcode.JMP:
+            result.taken = True
+            result.jump_target = int(regs[inst.ra])
+        else:
+            value = self._alu(inst, regs)
+            if inst.rd != ZERO_REGISTER:
+                regs[inst.rd] = value
+        return result
+
+    @staticmethod
+    def _alu(inst: Instruction, regs) -> float:
+        """Evaluate a three-operand ALU instruction."""
+        a = regs[inst.ra]
+        b = regs[inst.rb] if inst.rb is not None else inst.imm
+        op = inst.opcode
+        if op is Opcode.ADDQ:
+            return _wrap64(int(a) + int(b))
+        if op is Opcode.SUBQ:
+            return _wrap64(int(a) - int(b))
+        if op is Opcode.MULQ:
+            return _wrap64(int(a) * int(b))
+        if op is Opcode.AND:
+            return int(a) & int(b)
+        if op is Opcode.OR:
+            return int(a) | int(b)
+        if op is Opcode.XOR:
+            return int(a) ^ int(b)
+        if op is Opcode.SLL:
+            return _wrap64(int(a) << (int(b) & 63))
+        if op is Opcode.SRL:
+            return (int(a) & _U64) >> (int(b) & 63)
+        if op is Opcode.ADDF:
+            return a + b
+        if op is Opcode.SUBF:
+            return a - b
+        if op is Opcode.MULF:
+            return a * b
+        if op is Opcode.DIVF:
+            return a / b if b else 0.0
+        if op is Opcode.CMPEQ:
+            return 1 if a == b else 0
+        if op is Opcode.CMPLT:
+            return 1 if a < b else 0
+        if op is Opcode.CMPLE:
+            return 1 if a <= b else 0
+        raise ValueError(f"unhandled opcode {op}")

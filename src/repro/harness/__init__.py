@@ -1,0 +1,71 @@
+"""Experiment harness: simulation driver, paper-figure experiments,
+reporting, and ablation sweeps."""
+
+from .charts import bar_chart, grouped_bar_chart
+from .claims import CLAIMS, evaluate_claims, render_verdicts
+from .experiments import (
+    bench_instructions,
+    bench_workloads,
+    cache_equivalent_area,
+    fig2_hw_baseline,
+    fig3_overhead,
+    fig4_coverage,
+    fig5_policies,
+    fig6_breakdown,
+    fig7_threshold_sweep,
+    fig8_dlt_sweep,
+    fig9_sw_vs_hw,
+)
+from .report import (
+    arithmetic_mean,
+    geometric_mean,
+    percent,
+    render_mapping,
+    render_table,
+    speedup_percent,
+)
+from .runner import Simulation, SimulationResult, run_simulation
+from .sweep import (
+    AblationResult,
+    ablation_confidence_penalty,
+    ablation_markov,
+    ablation_phase_detection,
+    ablation_grouping,
+    ablation_initial_distance,
+    ablation_repair_budget,
+)
+
+__all__ = [
+    "AblationResult",
+    "Simulation",
+    "SimulationResult",
+    "ablation_confidence_penalty",
+    "ablation_grouping",
+    "ablation_initial_distance",
+    "ablation_markov",
+    "ablation_phase_detection",
+    "ablation_repair_budget",
+    "arithmetic_mean",
+    "CLAIMS",
+    "bar_chart",
+    "grouped_bar_chart",
+    "bench_instructions",
+    "bench_workloads",
+    "cache_equivalent_area",
+    "evaluate_claims",
+    "fig2_hw_baseline",
+    "fig3_overhead",
+    "fig4_coverage",
+    "fig5_policies",
+    "fig6_breakdown",
+    "fig7_threshold_sweep",
+    "fig8_dlt_sweep",
+    "fig9_sw_vs_hw",
+    "geometric_mean",
+    "percent",
+    "render_mapping",
+    "render_verdicts",
+    "render_table",
+    "run_simulation",
+    "speedup_percent",
+]

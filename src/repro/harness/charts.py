@@ -1,0 +1,101 @@
+"""ASCII bar charts, because the paper's results are bar charts.
+
+The benches print tables (precise) and, for the headline figures, a bar
+chart (shape at a glance, like the figures in the paper).  Pure text, no
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Width, in characters, of the largest bar.
+DEFAULT_WIDTH = 48
+
+
+def _scaled(value: float, peak: float, width: int) -> int:
+    if peak <= 0:
+        return 0
+    return max(0, int(round(width * value / peak)))
+
+
+def bar_chart(
+    title: str,
+    rows: Sequence[Tuple[str, float]],
+    unit: str = "",
+    width: int = DEFAULT_WIDTH,
+    baseline: Optional[float] = None,
+) -> str:
+    """Render one value per row as a horizontal bar.
+
+    With ``baseline`` set, bars grow from the baseline: values above it
+    render as ``+`` bars, values below as ``-`` bars — the natural way to
+    show speedups around 1.0.
+    """
+    if not rows:
+        return title
+    out: List[str] = [title, "-" * len(title)]
+    label_width = max(len(label) for label, _v in rows)
+    if baseline is None:
+        peak = max(value for _l, value in rows)
+        for label, value in rows:
+            bar = "#" * _scaled(value, peak, width)
+            out.append(
+                f"{label.ljust(label_width)} |{bar} {value:.3g}{unit}"
+            )
+        return "\n".join(out)
+
+    deltas = [value - baseline for _l, value in rows]
+    peak = max(abs(d) for d in deltas) or 1.0
+    for (label, value), delta in zip(rows, deltas):
+        length = _scaled(abs(delta), peak, width)
+        mark = "+" if delta >= 0 else "-"
+        out.append(
+            f"{label.ljust(label_width)} |{mark * length} {value:.3g}{unit}"
+        )
+    return "\n".join(out)
+
+
+def grouped_bar_chart(
+    title: str,
+    groups: Sequence[Tuple[str, Dict[str, float]]],
+    series: Sequence[str],
+    baseline: float = 1.0,
+    width: int = DEFAULT_WIDTH,
+) -> str:
+    """Render several series per group (one paper bar-cluster per group).
+
+    ``groups`` is [(benchmark, {series -> value})]; ``series`` fixes the
+    order and the legend.  Values are speedups rendered relative to
+    ``baseline``.
+    """
+    marks = "#=+*o"[: len(series)]
+    out: List[str] = [title, "-" * len(title)]
+    for name, mark in zip(series, marks):
+        out.append(f"  {mark} = {name}")
+    label_width = max((len(label) for label, _v in groups), default=0)
+    # Floor the scale so near-zero noise never fills the width.
+    peak = max(
+        max(
+            (abs(values.get(s, baseline) - baseline)
+             for _l, values in groups for s in series),
+            default=1.0,
+        ),
+        0.05,
+    )
+    for label, values in groups:
+        for s, mark in zip(series, marks):
+            value = values.get(s)
+            if value is None:
+                continue
+            delta = value - baseline
+            length = (
+                0 if abs(delta) < 0.005 else _scaled(abs(delta), peak, width)
+            )
+            body = mark * length if delta >= 0 else "." * length
+            out.append(
+                f"{label.ljust(label_width)} |{body} "
+                f"{delta * 100:+.1f}%"
+            )
+        out.append("")
+    return "\n".join(out).rstrip()

@@ -1,0 +1,703 @@
+"""One entry per paper table/figure (the per-experiment index of
+DESIGN.md).
+
+Each ``fig*`` function runs the simulations for one paper figure and
+returns a structured result object with a ``render()`` method printing
+paper-style rows.  Budgets are deliberately parameters: the test suite
+uses tiny budgets, the benches use ``REPRO_BENCH_INSTRUCTIONS``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import (
+    DLTConfig,
+    MachineConfig,
+    PrefetchPolicy,
+    StreamBufferConfig,
+    TridentConfig,
+)
+from ..workloads.registry import BENCHMARK_NAMES
+from .report import (
+    arithmetic_mean,
+    percent,
+    render_table,
+    speedup_percent,
+)
+from .runner import run_simulation
+
+#: Environment knobs for the bench harness.
+ENV_INSTRUCTIONS = "REPRO_BENCH_INSTRUCTIONS"
+ENV_WARMUP = "REPRO_BENCH_WARMUP"
+ENV_WORKLOADS = "REPRO_BENCH_WORKLOADS"
+
+
+def bench_instructions(default: int = 120_000) -> int:
+    return int(os.environ.get(ENV_INSTRUCTIONS, default))
+
+
+def bench_warmup(default: int = 200_000) -> int:
+    """Instructions run before measurement begins.
+
+    The paper warms for 5M of 100M instructions; proportionally we warm
+    longer because the optimizer's convergence horizon (DLT windows x
+    repair steps) is a fixed instruction count, not a fixed fraction.
+    """
+    return int(os.environ.get(ENV_WARMUP, default))
+
+
+def bench_workloads(default: Optional[Sequence[str]] = None) -> List[str]:
+    raw = os.environ.get(ENV_WORKLOADS)
+    if raw:
+        return [name.strip() for name in raw.split(",") if name.strip()]
+    return list(default if default is not None else BENCHMARK_NAMES)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — hardware stream-buffer baselines.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig2Result:
+    rows: List[Dict] = field(default_factory=list)
+
+    @property
+    def mean_speedup_4x4(self) -> float:
+        return arithmetic_mean([r["speedup_4x4"] for r in self.rows])
+
+    @property
+    def mean_speedup_8x8(self) -> float:
+        return arithmetic_mean([r["speedup_8x8"] for r in self.rows])
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                r["workload"],
+                f"{r['ipc_none']:.3f}",
+                f"{r['ipc_4x4']:.3f}",
+                f"{r['ipc_8x8']:.3f}",
+                speedup_percent(r["speedup_4x4"]),
+                speedup_percent(r["speedup_8x8"]),
+            )
+            for r in self.rows
+        ]
+        table_rows.append(
+            (
+                "average",
+                "",
+                "",
+                "",
+                speedup_percent(self.mean_speedup_4x4),
+                speedup_percent(self.mean_speedup_8x8),
+            )
+        )
+        return render_table(
+            ["benchmark", "IPC none", "IPC 4x4", "IPC 8x8",
+             "4x4 speedup", "8x8 speedup"],
+            table_rows,
+            title=(
+                "Figure 2: baseline performance with hardware stream "
+                "buffers (paper: +35% for 4x4, +40% for 8x8)"
+            ),
+        )
+
+
+def fig2_hw_baseline(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Fig2Result:
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = Fig2Result()
+    for name in names:
+        none = run_simulation(
+            name, policy=PrefetchPolicy.NONE, max_instructions=budget, warmup_instructions=warm
+        )
+        hw44 = run_simulation(
+            name,
+            policy=PrefetchPolicy.HW_ONLY,
+            machine=MachineConfig().with_stream_buffers(
+                StreamBufferConfig.paper_4x4()
+            ),
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        hw88 = run_simulation(
+            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+        )
+        result.rows.append(
+            {
+                "workload": name,
+                "ipc_none": none.ipc,
+                "ipc_4x4": hw44.ipc,
+                "ipc_8x8": hw88.ipc,
+                "speedup_4x4": hw44.speedup_over(none),
+                "speedup_8x8": hw88.speedup_over(none),
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 / section 5.1 — optimizer overhead and helper activity.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig3Result:
+    rows: List[Dict] = field(default_factory=list)
+
+    @property
+    def mean_helper_active(self) -> float:
+        return arithmetic_mean([r["helper_active"] for r in self.rows])
+
+    @property
+    def mean_overhead(self) -> float:
+        return arithmetic_mean([r["overhead"] for r in self.rows])
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                r["workload"],
+                percent(r["helper_active"], 2),
+                percent(r["overhead"], 2),
+            )
+            for r in self.rows
+        ]
+        table_rows.append(
+            (
+                "average",
+                percent(self.mean_helper_active, 2),
+                percent(self.mean_overhead, 2),
+            )
+        )
+        return render_table(
+            ["benchmark", "helper active", "overhead-only slowdown"],
+            table_rows,
+            title=(
+                "Figure 3 / section 5.1: helper-thread activity (paper: "
+                "2.2% avg) and optimize-but-don't-link cost (paper: 0.6%)"
+            ),
+        )
+
+
+def fig3_overhead(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Fig3Result:
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = Fig3Result()
+    for name in names:
+        base = run_simulation(
+            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+        )
+        overhead_run = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+            overhead_only=True,
+        )
+        full = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        overhead = max(0.0, base.ipc / overhead_run.ipc - 1.0)
+        result.rows.append(
+            {
+                "workload": name,
+                "helper_active": full.helper_active_fraction,
+                "overhead": overhead,
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — load-miss coverage by hot traces and the prefetcher.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig4Result:
+    rows: List[Dict] = field(default_factory=list)
+
+    @property
+    def mean_trace_coverage(self) -> float:
+        return arithmetic_mean([r["trace_coverage"] for r in self.rows])
+
+    @property
+    def mean_prefetch_coverage(self) -> float:
+        return arithmetic_mean([r["prefetch_coverage"] for r in self.rows])
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                r["workload"],
+                percent(r["trace_coverage"]),
+                percent(r["prefetch_coverage"]),
+            )
+            for r in self.rows
+        ]
+        table_rows.append(
+            (
+                "average",
+                percent(self.mean_trace_coverage),
+                percent(self.mean_prefetch_coverage),
+            )
+        )
+        return render_table(
+            ["benchmark", "misses in hot traces", "misses prefetchable"],
+            table_rows,
+            title=(
+                "Figure 4: load-miss coverage (paper: >85% in traces, "
+                "~55% prefetchable; dot/parser low; gap low-coverage/"
+                "high-prefetchable)"
+            ),
+        )
+
+
+def fig4_coverage(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Fig4Result:
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = Fig4Result()
+    for name in names:
+        # Figure 4 asks which misses *occur while executing hot traces*
+        # and which of those the prefetcher targets.  A successful
+        # prefetch erases the miss it covered, so the miss profile comes
+        # from a monitoring-only run (traces linked, nothing inserted)
+        # and the targeted-PC set from the self-repairing run.
+        baseline = run_simulation(
+            name, policy=PrefetchPolicy.TRACE_ONLY,
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        run = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        profile = baseline.miss_profile()
+        total = sum(profile.values())
+        targeted = sum(
+            count
+            for pc, count in profile.items()
+            if pc in run.targeted_load_pcs
+        )
+        result.rows.append(
+            {
+                "workload": name,
+                "trace_coverage": baseline.miss_trace_coverage,
+                "prefetch_coverage": targeted / total if total else 0.0,
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — the headline comparison: basic / whole-object / self-repairing.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig5Result:
+    rows: List[Dict] = field(default_factory=list)
+
+    def mean_speedup(self, key: str) -> float:
+        return arithmetic_mean([r[key] for r in self.rows])
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                r["workload"],
+                speedup_percent(r["basic"]),
+                speedup_percent(r["whole_object"]),
+                speedup_percent(r["self_repairing"]),
+            )
+            for r in self.rows
+        ]
+        table_rows.append(
+            (
+                "average",
+                speedup_percent(self.mean_speedup("basic")),
+                speedup_percent(self.mean_speedup("whole_object")),
+                speedup_percent(self.mean_speedup("self_repairing")),
+            )
+        )
+        from .charts import grouped_bar_chart
+
+        table = render_table(
+            ["benchmark", "basic", "whole object", "self-repairing"],
+            table_rows,
+            title=(
+                "Figure 5: software prefetching speedup over the 8x8 "
+                "hardware baseline (paper: +11% basic, +23% "
+                "self-repairing)"
+            ),
+        )
+        chart = grouped_bar_chart(
+            "speedup over hardware baseline",
+            [
+                (
+                    r["workload"],
+                    {
+                        "basic": r["basic"],
+                        "self-repairing": r["self_repairing"],
+                    },
+                )
+                for r in self.rows
+            ],
+            series=["basic", "self-repairing"],
+        )
+        return table + "\n\n" + chart
+
+
+def fig5_policies(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Fig5Result:
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = Fig5Result()
+    for name in names:
+        baseline = run_simulation(
+            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+        )
+        row = {"workload": name}
+        for key, policy in (
+            ("basic", PrefetchPolicy.BASIC),
+            ("whole_object", PrefetchPolicy.WHOLE_OBJECT),
+            ("self_repairing", PrefetchPolicy.SELF_REPAIRING),
+        ):
+            run = run_simulation(name, policy=policy, max_instructions=budget, warmup_instructions=warm)
+            row[key] = run.speedup_over(baseline)
+        result.rows.append(row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — dynamic-load outcome breakdown.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig6Result:
+    rows: List[Dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                r["workload"],
+                percent(r["hit"]),
+                percent(r["hit_prefetched"]),
+                percent(r["partial_hit"]),
+                percent(r["miss"]),
+                percent(r["miss_due_to_prefetch"], 2),
+            )
+            for r in self.rows
+        ]
+        return render_table(
+            ["benchmark", "hits", "hit-prefetched", "partial hits",
+             "misses", "miss-due-to-prefetch"],
+            table_rows,
+            title=(
+                "Figure 6: breakdown of all dynamic loads (paper: partial "
+                "hits and prefetch-caused misses are both rare)"
+            ),
+        )
+
+
+def fig6_breakdown(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Fig6Result:
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = Fig6Result()
+    for name in names:
+        run = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        row = {"workload": name}
+        row.update(run.breakdown())
+        result.rows.append(row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — monitoring-window / miss-threshold sensitivity.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig7Result:
+    #: (window, miss-rate) -> mean speedup over the HW baseline.
+    grid: Dict = field(default_factory=dict)
+    windows: List[int] = field(default_factory=list)
+    rates: List[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["window \\ rate"] + [percent(r, 0) for r in self.rates]
+        table_rows = []
+        for window in self.windows:
+            row = [str(window)]
+            for rate in self.rates:
+                row.append(speedup_percent(self.grid[(window, rate)]))
+            table_rows.append(row)
+        return render_table(
+            headers,
+            table_rows,
+            title=(
+                "Figure 7: mean self-repairing speedup vs monitoring "
+                "window and miss-rate threshold (paper: 3% at 256 best)"
+            ),
+        )
+
+
+def fig7_threshold_sweep(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    windows: Sequence[int] = (128, 256, 512),
+    rates: Sequence[float] = (0.01, 0.03, 0.06, 0.12),
+) -> Fig7Result:
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = Fig7Result(windows=list(windows), rates=list(rates))
+    baselines = {
+        name: run_simulation(
+            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+        )
+        for name in names
+    }
+    for window in windows:
+        for rate in rates:
+            dlt = DLTConfig().with_window(window).with_miss_rate(rate)
+            speedups = []
+            for name in names:
+                run = run_simulation(
+                    name,
+                    policy=PrefetchPolicy.SELF_REPAIRING,
+                    trident=TridentConfig().with_dlt(dlt),
+                    max_instructions=budget, warmup_instructions=warm,
+                )
+                speedups.append(run.speedup_over(baselines[name]))
+            result.grid[(window, rate)] = arithmetic_mean(speedups)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — DLT-size sensitivity.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig8Result:
+    #: size -> {workload -> speedup}, plus "mean".
+    by_size: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    sizes: List[int] = field(default_factory=list)
+    spotlight: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["DLT entries", "mean"] + list(self.spotlight)
+        table_rows = []
+        for size in self.sizes:
+            row = [str(size), speedup_percent(self.by_size[size]["mean"])]
+            for name in self.spotlight:
+                value = self.by_size[size].get(name)
+                row.append("" if value is None else speedup_percent(value))
+            table_rows.append(row)
+        return render_table(
+            headers,
+            table_rows,
+            title=(
+                "Figure 8: self-repairing speedup vs DLT size (paper: "
+                "mostly flat; dot and parser want bigger tables)"
+            ),
+        )
+
+
+def fig8_dlt_sweep(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    sizes: Sequence[int] = (128, 256, 512, 1024, 2048),
+    spotlight: Sequence[str] = ("dot", "parser"),
+) -> Fig8Result:
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = Fig8Result(
+        sizes=list(sizes),
+        spotlight=[s for s in spotlight if s in names],
+    )
+    baselines = {
+        name: run_simulation(
+            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+        )
+        for name in names
+    }
+    for size in sizes:
+        dlt = DLTConfig().with_entries(size)
+        per: Dict[str, float] = {}
+        for name in names:
+            run = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                trident=TridentConfig().with_dlt(dlt),
+                max_instructions=budget, warmup_instructions=warm,
+            )
+            per[name] = run.speedup_over(baselines[name])
+        per["mean"] = arithmetic_mean(
+            [v for k, v in per.items() if k != "mean"]
+        )
+        result.by_size[size] = per
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — software vs hardware prefetching, both over no prefetching.
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig9Result:
+    rows: List[Dict] = field(default_factory=list)
+
+    def mean_speedup(self, key: str) -> float:
+        return arithmetic_mean([r[key] for r in self.rows])
+
+    def render(self) -> str:
+        table_rows = [
+            (
+                r["workload"],
+                speedup_percent(r["hw_only"]),
+                speedup_percent(r["sw_only"]),
+                speedup_percent(r["combined"]),
+            )
+            for r in self.rows
+        ]
+        table_rows.append(
+            (
+                "average",
+                speedup_percent(self.mean_speedup("hw_only")),
+                speedup_percent(self.mean_speedup("sw_only")),
+                speedup_percent(self.mean_speedup("combined")),
+            )
+        )
+        from .charts import grouped_bar_chart
+
+        table = render_table(
+            ["benchmark", "HW 8x8", "SW self-repairing", "combined"],
+            table_rows,
+            title=(
+                "Figure 9: prefetching speedup over no prefetching "
+                "(paper: SW beats HW by ~11% on average; dot/equake/swim "
+                "favour HW)"
+            ),
+        )
+        chart = grouped_bar_chart(
+            "speedup over no prefetching",
+            [
+                (
+                    r["workload"],
+                    {"hw": r["hw_only"], "sw": r["sw_only"]},
+                )
+                for r in self.rows
+            ],
+            series=["hw", "sw"],
+        )
+        return table + "\n\n" + chart
+
+
+def fig9_sw_vs_hw(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Fig9Result:
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = Fig9Result()
+    for name in names:
+        none = run_simulation(
+            name, policy=PrefetchPolicy.NONE, max_instructions=budget, warmup_instructions=warm
+        )
+        hw = run_simulation(
+            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+        )
+        sw = run_simulation(
+            name, policy=PrefetchPolicy.SW_ONLY, max_instructions=budget, warmup_instructions=warm
+        )
+        combined = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        result.rows.append(
+            {
+                "workload": name,
+                "hw_only": hw.speedup_over(none),
+                "sw_only": sw.speedup_over(none),
+                "combined": combined.speedup_over(none),
+            }
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 5.4 closing note — spend the DLT bits on a bigger L1 instead.
+# ---------------------------------------------------------------------------
+@dataclass
+class CacheEquivResult:
+    rows: List[Dict] = field(default_factory=list)
+
+    @property
+    def mean_speedup(self) -> float:
+        return arithmetic_mean([r["speedup"] for r in self.rows])
+
+    def render(self) -> str:
+        table_rows = [
+            (r["workload"], speedup_percent(r["speedup"]))
+            for r in self.rows
+        ]
+        table_rows.append(("average", speedup_percent(self.mean_speedup)))
+        return render_table(
+            ["benchmark", "bigger-L1 speedup"],
+            table_rows,
+            title=(
+                "Section 5.4: DLT+watch-table bits spent on L1 capacity "
+                "instead (paper: merely +0.8%)"
+            ),
+        )
+
+
+def cache_equivalent_area(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> CacheEquivResult:
+    """Enlarge the L1 by the monitoring structures' storage (~24 KB: 1024
+    DLT entries x ~22 bytes + 256 watch entries) and measure the gain."""
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = CacheEquivResult()
+    bigger = MachineConfig().with_l1_size(88 * 1024)
+    for name in names:
+        base = run_simulation(
+            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+        )
+        big = run_simulation(
+            name,
+            policy=PrefetchPolicy.HW_ONLY,
+            machine=bigger,
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        result.rows.append(
+            {"workload": name, "speedup": big.speedup_over(base)}
+        )
+    return result

@@ -1,0 +1,86 @@
+"""Fixed-width table rendering and aggregation helpers.
+
+Every experiment prints paper-style rows through these helpers, so the
+bench output can be eyeballed against the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def fmt(value: Cell, precision: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def percent(value: float, precision: int = 1) -> str:
+    """0.231 -> '23.1%'."""
+    return f"{100.0 * value:.{precision}f}%"
+
+
+def speedup_percent(speedup: float, precision: int = 1) -> str:
+    """1.231 -> '+23.1%' (the paper reports speedups as percentages)."""
+    return f"{100.0 * (speedup - 1.0):+.{precision}f}%"
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows: List[List[str]] = [
+        [fmt(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+            for i, cell in enumerate(cells)
+        )
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_mapping(title: str, mapping: Dict[str, Cell]) -> str:
+    """Render a simple key/value block."""
+    width = max((len(k) for k in mapping), default=0)
+    lines = [title, "=" * len(title)]
+    for key, value in mapping.items():
+        lines.append(f"{key.ljust(width)}  {fmt(value)}")
+    return "\n".join(lines)

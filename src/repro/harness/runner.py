@@ -1,0 +1,230 @@
+"""Simulation driver: couples workload, machine, hierarchy, Trident.
+
+:class:`Simulation` assembles one run — a workload executing on the SMT
+core over the cache hierarchy, with the hardware stream buffers and/or the
+Trident runtime attached according to the
+:class:`~repro.config.PrefetchPolicy` — and produces a
+:class:`SimulationResult` holding every statistic the paper's figures
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..config import (
+    MachineConfig,
+    PrefetchPolicy,
+    SimulationConfig,
+    TridentConfig,
+)
+from ..cpu.core import CoreStats, SMTCore
+from ..hwprefetch.stream_buffer import StreamBufferPrefetcher
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.stats import MemoryStats
+from ..trident.runtime import TridentRuntime
+from ..workloads.base import Workload
+from ..workloads.registry import load_workload
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one run."""
+
+    workload: str
+    policy: PrefetchPolicy
+    instructions: int
+    cycles: float
+    core: CoreStats
+    memory: MemoryStats
+    #: Helper-thread activity as a fraction of total cycles (Figure 3).
+    helper_active_fraction: float = 0.0
+    helper_jobs: Dict[str, int] = field(default_factory=dict)
+    traces_formed: int = 0
+    traces_linked: int = 0
+    dlt_events: int = 0
+    prefetches_inserted: int = 0
+    pointer_prefetches_inserted: int = 0
+    repairs_applied: int = 0
+    loads_matured: int = 0
+    #: Fraction of all demand-load misses that occurred inside hot traces
+    #: and fraction attributable to prefetch-targeted loads (Figure 4).
+    miss_trace_coverage: float = 0.0
+    miss_prefetch_coverage: float = 0.0
+    #: Load PCs that appeared in linked traces / got prefetches inserted.
+    trace_load_pcs: frozenset = frozenset()
+    targeted_load_pcs: frozenset = frozenset()
+
+    def miss_profile(self) -> Dict[int, int]:
+        """Per-PC demand-miss counts from this run (Figure 4 input)."""
+        return dict(self.core.miss_count_by_pc)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """This run's speedup relative to ``baseline`` (same workload)."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def breakdown(self) -> Dict[str, float]:
+        """Figure-6 load-outcome fractions."""
+        return self.memory.breakdown()
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable summary (for tooling and the CLI)."""
+        return {
+            "workload": self.workload,
+            "policy": self.policy.value,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "breakdown": self.breakdown(),
+            "traces_formed": self.traces_formed,
+            "traces_linked": self.traces_linked,
+            "dlt_events": self.dlt_events,
+            "prefetches_inserted": self.prefetches_inserted,
+            "pointer_prefetches_inserted": self.pointer_prefetches_inserted,
+            "repairs_applied": self.repairs_applied,
+            "loads_matured": self.loads_matured,
+            "helper_active_fraction": self.helper_active_fraction,
+            "helper_jobs": dict(self.helper_jobs),
+            "miss_trace_coverage": self.miss_trace_coverage,
+            "miss_prefetch_coverage": self.miss_prefetch_coverage,
+            "branch_mispredicts": self.core.branch_mispredicts,
+            "loads_executed": self.core.loads_executed,
+            "misses_total": self.core.misses_total,
+        }
+
+
+class Simulation:
+    """One configured run of one workload."""
+
+    def __init__(
+        self,
+        workload: Union[str, Workload],
+        config: Optional[SimulationConfig] = None,
+        initial_distance_mode: Optional[str] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        if isinstance(workload, str):
+            workload = load_workload(workload, seed=self.config.seed)
+        self.workload = workload
+
+        machine = self.config.machine
+        policy = self.config.policy
+
+        self.hierarchy = MemoryHierarchy(machine)
+        if policy.hardware_prefetching:
+            self.hierarchy.stream_prefetcher = StreamBufferPrefetcher(
+                machine.stream_buffers,
+                self.hierarchy,
+                line_size=machine.line_size,
+            )
+
+        self.runtime: Optional[TridentRuntime] = None
+        if policy.software_prefetching:
+            self.runtime = TridentRuntime(
+                program=workload.program,
+                machine=machine,
+                trident=self.config.trident,
+                policy=policy,
+                overhead_only=self.config.overhead_only,
+                initial_distance_mode=initial_distance_mode,
+            )
+
+        self.core = SMTCore(
+            program=workload.program,
+            memory=workload.memory,
+            hierarchy=self.hierarchy,
+            config=machine,
+            runtime=self.runtime,
+        )
+
+    def run(self) -> SimulationResult:
+        """Execute the configured instruction budget and collect results."""
+        cfg = self.config
+        start_committed, start_cycles = 0, 0.0
+        if cfg.warmup_instructions > 0:
+            self.core.run(cfg.warmup_instructions)
+            start_committed, start_cycles = self.core.snapshot()
+            # Measurement counters restart after warmup; cache, DLT,
+            # trace, and repair state all persist (that is the point of
+            # warming up).
+            self.core.stats.reset_measurement()
+            self.hierarchy.stats = MemoryStats()
+        self.core.run(cfg.warmup_instructions + cfg.max_instructions)
+        committed, cycles = self.core.snapshot()
+        stats = self.core.stats
+
+        result = SimulationResult(
+            workload=self.workload.name,
+            policy=cfg.policy,
+            instructions=committed - start_committed,
+            cycles=cycles - start_cycles,
+            core=stats,
+            memory=self.hierarchy.stats,
+        )
+        if stats.misses_total:
+            result.miss_trace_coverage = (
+                stats.misses_in_traces / stats.misses_total
+            )
+        runtime = self.runtime
+        if runtime is not None:
+            result.helper_active_fraction = runtime.helper.active_fraction(
+                cycles
+            )
+            result.helper_jobs = dict(runtime.helper.jobs_by_kind)
+            result.traces_formed = runtime.traces_formed
+            result.traces_linked = runtime.traces_linked
+            result.dlt_events = runtime.dlt.events_fired
+            opt = runtime.optimizer.stats
+            result.prefetches_inserted = opt.prefetches_inserted
+            result.pointer_prefetches_inserted = (
+                opt.pointer_prefetches_inserted
+            )
+            result.repairs_applied = opt.repairs_applied
+            result.loads_matured = opt.loads_matured
+            result.trace_load_pcs = frozenset(runtime.trace_load_pcs)
+            result.targeted_load_pcs = frozenset(
+                runtime.prefetch_targeted_pcs()
+            )
+            if stats.misses_total:
+                covered = sum(
+                    count
+                    for pc, count in stats.miss_count_by_pc.items()
+                    if pc in result.targeted_load_pcs
+                )
+                result.miss_prefetch_coverage = (
+                    covered / stats.misses_total
+                )
+        return result
+
+
+def run_simulation(
+    workload: Union[str, Workload],
+    policy: PrefetchPolicy = PrefetchPolicy.SELF_REPAIRING,
+    machine: Optional[MachineConfig] = None,
+    trident: Optional[TridentConfig] = None,
+    max_instructions: int = 200_000,
+    warmup_instructions: int = 0,
+    overhead_only: bool = False,
+    seed: int = 1,
+    initial_distance_mode: Optional[str] = None,
+) -> SimulationResult:
+    """Convenience one-call simulation (the quickstart entry point)."""
+    config = SimulationConfig(
+        machine=machine or MachineConfig(),
+        trident=trident or TridentConfig(),
+        policy=policy,
+        max_instructions=max_instructions,
+        warmup_instructions=warmup_instructions,
+        overhead_only=overhead_only,
+        seed=seed,
+    )
+    return Simulation(
+        workload, config, initial_distance_mode=initial_distance_mode
+    ).run()

@@ -1,0 +1,283 @@
+"""Ablation sweeps over the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: they isolate individual mechanisms of
+the self-repairing design so a reader can see what each one buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from ..config import DLTConfig, PrefetchPolicy, TridentConfig
+from .report import arithmetic_mean, render_table, speedup_percent
+from .runner import run_simulation
+
+
+@dataclass
+class AblationResult:
+    title: str
+    #: variant name -> {workload -> speedup over the HW baseline}.
+    variants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def mean(self, variant: str) -> float:
+        per = self.variants[variant]
+        return arithmetic_mean(list(per.values()))
+
+    def render(self) -> str:
+        names = sorted(
+            {w for per in self.variants.values() for w in per}
+        )
+        headers = ["variant"] + names + ["mean"]
+        rows = []
+        for variant, per in self.variants.items():
+            row = [variant]
+            row.extend(
+                speedup_percent(per[name]) if name in per else ""
+                for name in names
+            )
+            row.append(speedup_percent(self.mean(variant)))
+            rows.append(row)
+        return render_table(headers, rows, title=self.title)
+
+
+def _baselines(
+    names: Sequence[str], budget: int, warmup: int
+) -> Dict[str, object]:
+    return {
+        name: run_simulation(
+            name,
+            policy=PrefetchPolicy.HW_ONLY,
+            max_instructions=budget,
+            warmup_instructions=warmup,
+        )
+        for name in names
+    }
+
+
+def ablation_initial_distance(
+    workloads: Sequence[str],
+    max_instructions: int,
+    warmup_instructions: int = 200_000,
+) -> AblationResult:
+    """Paper section 5.3: starting the repair search from the estimated
+    distance performs "almost identical" to starting from 1."""
+    result = AblationResult(
+        title="Ablation: initial distance for the self-repairing search"
+    )
+    baselines = _baselines(workloads, max_instructions, warmup_instructions)
+    for variant, mode in (
+        ("start at 1 (paper default)", "one"),
+        ("start at estimate (eq. 2)", "estimate"),
+    ):
+        per = {}
+        for name in workloads:
+            run = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                max_instructions=max_instructions,
+                warmup_instructions=warmup_instructions,
+                initial_distance_mode=mode,
+            )
+            per[name] = run.speedup_over(baselines[name])
+        result.variants[variant] = per
+    return result
+
+
+def ablation_grouping(
+    workloads: Sequence[str],
+    max_instructions: int,
+    warmup_instructions: int = 200_000,
+) -> AblationResult:
+    """Same-object grouping on vs off, with repair active in both."""
+    result = AblationResult(
+        title="Ablation: same-object grouping under adaptive repair"
+    )
+    baselines = _baselines(workloads, max_instructions, warmup_instructions)
+    per_on: Dict[str, float] = {}
+    per_off: Dict[str, float] = {}
+    for name in workloads:
+        on = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        per_on[name] = on.speedup_over(baselines[name])
+        # BASIC groups nothing but also freezes distances; to isolate
+        # grouping we run BASIC with the adaptive initial mode "one" and
+        # compare WHOLE_OBJECT-without-repair against BASIC elsewhere;
+        # here the honest ungrouped-adaptive variant is BASIC + repair,
+        # which the policy enum doesn't offer — so we report the paper's
+        # own proxies: WHOLE_OBJECT (grouped, frozen) vs BASIC (ungrouped,
+        # frozen).
+        grouped = run_simulation(
+            name,
+            policy=PrefetchPolicy.WHOLE_OBJECT,
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        ungrouped = run_simulation(
+            name,
+            policy=PrefetchPolicy.BASIC,
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        per_off[name] = ungrouped.speedup_over(baselines[name])
+        result.variants.setdefault("grouped, frozen (WHOLE_OBJECT)", {})[
+            name
+        ] = grouped.speedup_over(baselines[name])
+    result.variants["grouped + repair (SELF_REPAIRING)"] = per_on
+    result.variants["ungrouped, frozen (BASIC)"] = per_off
+    return result
+
+
+def ablation_confidence_penalty(
+    workloads: Sequence[str],
+    max_instructions: int,
+    penalties: Sequence[int] = (1, 3, 7, 15),
+    warmup_instructions: int = 200_000,
+) -> AblationResult:
+    """The DLT's asymmetric stride-confidence update (-7 in the paper):
+    smaller penalties let noisy pointer chains masquerade as strided."""
+    result = AblationResult(
+        title="Ablation: DLT stride-confidence down-step (paper: -7)"
+    )
+    baselines = _baselines(workloads, max_instructions, warmup_instructions)
+    for penalty in penalties:
+        dlt = DLTConfig(confidence_down=penalty)
+        per = {}
+        for name in workloads:
+            run = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                trident=TridentConfig().with_dlt(dlt),
+                max_instructions=max_instructions,
+                warmup_instructions=warmup_instructions,
+            )
+            per[name] = run.speedup_over(baselines[name])
+        result.variants[f"-{penalty}"] = per
+    return result
+
+
+def ablation_markov(
+    workloads: Sequence[str],
+    max_instructions: int,
+    warmup_instructions: int = 200_000,
+) -> AblationResult:
+    """The PSB's stride-filtered Markov second level (Sherwood et al.,
+    the paper's citation [27]): off in the Table-1 baseline, measured
+    here as hardware-only speedup over no prefetching."""
+    import dataclasses
+
+    from ..config import MachineConfig, StreamBufferConfig
+
+    result = AblationResult(
+        title=(
+            "Extension: stride-filtered Markov second level for the "
+            "stream buffers (off in the paper's Table-1 baseline)"
+        )
+    )
+    none_runs = {
+        name: run_simulation(
+            name,
+            policy=PrefetchPolicy.NONE,
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        for name in workloads
+    }
+    for variant, markov_entries in (
+        ("stride-guided only (paper)", 0),
+        ("with markov second level", 2048),
+    ):
+        machine = MachineConfig().with_stream_buffers(
+            dataclasses.replace(
+                StreamBufferConfig.paper_8x8(),
+                markov_entries=markov_entries,
+            )
+        )
+        per = {}
+        for name in workloads:
+            run = run_simulation(
+                name,
+                policy=PrefetchPolicy.HW_ONLY,
+                machine=machine,
+                max_instructions=max_instructions,
+                warmup_instructions=warmup_instructions,
+            )
+            per[name] = run.speedup_over(none_runs[name])
+        result.variants[variant] = per
+    return result
+
+
+def ablation_phase_detection(
+    workloads: Sequence[str],
+    max_instructions: int,
+    warmup_instructions: int = 200_000,
+) -> AblationResult:
+    """The paper's stated future work (section 3.5.2): clear mature flags
+    on a working-set/phase change so the prefetcher can re-adapt."""
+    result = AblationResult(
+        title=(
+            "Extension: phase-aware mature clearing "
+            "(paper future work, off by default)"
+        )
+    )
+    baselines = _baselines(workloads, max_instructions, warmup_instructions)
+    for variant, enabled in (
+        ("phase detection off (paper)", False),
+        ("phase detection on", True),
+    ):
+        trident = TridentConfig(phase_detection=enabled)
+        per = {}
+        for name in workloads:
+            run = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                trident=trident,
+                max_instructions=max_instructions,
+                warmup_instructions=warmup_instructions,
+            )
+            per[name] = run.speedup_over(baselines[name])
+        result.variants[variant] = per
+    return result
+
+
+def ablation_repair_budget(
+    workloads: Sequence[str],
+    max_instructions: int,
+    budgets: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    warmup_instructions: int = 200_000,
+) -> AblationResult:
+    """Scale the 2x max-distance repair budget (paper's maturing rule)."""
+    from ..core.repair import PrefetchRecord
+
+    result = AblationResult(
+        title="Ablation: repair budget multiplier (paper: 2x max distance)"
+    )
+    baselines = _baselines(workloads, max_instructions, warmup_instructions)
+    original = PrefetchRecord.set_budget_from_max
+    try:
+        for multiplier in budgets:
+
+            def patched(self, max_distance, _m=multiplier):
+                self.max_distance = max_distance
+                budget = max(1, int(_m * max_distance))
+                if budget > self.repairs_left:
+                    self.repairs_left = budget
+
+            PrefetchRecord.set_budget_from_max = patched
+            per = {}
+            for name in workloads:
+                run = run_simulation(
+                    name,
+                    policy=PrefetchPolicy.SELF_REPAIRING,
+                    max_instructions=max_instructions,
+                    warmup_instructions=warmup_instructions,
+                )
+                per[name] = run.speedup_over(baselines[name])
+            result.variants[f"{multiplier}x"] = per
+    finally:
+        PrefetchRecord.set_budget_from_max = original
+    return result

@@ -1,0 +1,7 @@
+"""Hardware prefetching substrate: stride predictor and stream buffers."""
+
+from .markov import MarkovPredictor
+from .stream_buffer import StreamBufferPrefetcher
+from .stride_predictor import StridePredictor
+
+__all__ = ["MarkovPredictor", "StreamBufferPrefetcher", "StridePredictor"]

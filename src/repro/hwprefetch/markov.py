@@ -1,0 +1,58 @@
+"""Stride-filtered Markov predictor (the second level of Sherwood et
+al.'s predictor-directed stream buffers, the paper's citation [27]).
+
+The paper's baseline description: "The predictor-directed stream buffer
+(PSB) can generate the next prefetch address without a fixed stride if a
+Markov transition is found."  The stride predictor filters: only misses
+the stride predictor cannot explain train the Markov table, which records
+block-to-block transitions of the miss stream.  A stream buffer whose
+stride prediction runs out can then follow recorded transitions instead.
+
+This extension is **off by default** (``StreamBufferConfig.markov_entries
+= 0``): the paper's own software-prefetching results were measured against
+the stride-guided configuration of Table 1, and the headline comparison
+keeps that baseline.  ``ablation_markov`` measures what the second level
+adds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class MarkovPredictor:
+    """Bounded first-order transition table over miss block addresses."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("markov table needs at least one entry")
+        self.entries = entries
+        # previous block -> next block (LRU-bounded).
+        self._table: OrderedDict = OrderedDict()
+        self._last_block: Optional[int] = None
+        self.trained = 0
+        self.predictions = 0
+
+    def train(self, block: int) -> None:
+        """Record a miss-stream transition (stride-filtered by caller)."""
+        previous = self._last_block
+        self._last_block = block
+        if previous is None or previous == block:
+            return
+        self._table[previous] = block
+        self._table.move_to_end(previous)
+        self.trained += 1
+        while len(self._table) > self.entries:
+            self._table.popitem(last=False)
+
+    def predict(self, block: int) -> Optional[int]:
+        """Next block after ``block``, if a transition was recorded."""
+        target = self._table.get(block)
+        if target is not None:
+            self._table.move_to_end(block)
+            self.predictions += 1
+        return target
+
+    def __len__(self) -> int:
+        return len(self._table)

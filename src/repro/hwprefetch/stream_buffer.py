@@ -1,0 +1,180 @@
+"""Stride-predictor-guided stream buffers (the paper's hardware baseline).
+
+Architecture follows Sherwood et al.'s predictor-directed stream buffers as
+summarised in the paper's Table 1: N buffers of M entries each, allocated
+on misses when a PC-indexed stride predictor is confident, each buffer
+running ahead of the demand stream by up to M cache blocks.
+
+We model buffer storage by routing prefetched blocks through the shared
+:class:`~repro.memory.hierarchy.MemoryHierarchy` fill machinery: a block a
+buffer has requested is a pending fill until it arrives, then sits in the
+L1 with its prefetched bit set.  A demand load that catches up with the
+stream therefore sees either a prefetched hit or a partial hit with the
+remaining latency — the same timing a hardware buffer hit would give,
+without a second storage pool.  DESIGN.md records this simplification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import StreamBufferConfig
+from .markov import MarkovPredictor
+from .stride_predictor import StridePredictor
+
+
+class _StreamBuffer:
+    """One stream: a stride (or Markov walk), pending blocks."""
+
+    __slots__ = ("pc", "stride", "next_addr", "blocks", "last_use", "markov")
+
+    def __init__(
+        self, pc: int, stride: int, next_addr: int, markov: bool = False
+    ) -> None:
+        self.pc = pc
+        self.stride = stride
+        self.next_addr = next_addr
+        #: Blocks requested and not yet consumed, oldest first.
+        self.blocks: List[int] = []
+        self.last_use = 0
+        #: True when the stream follows Markov transitions, not a stride.
+        self.markov = markov
+
+
+class StreamBufferPrefetcher:
+    """N×M stream buffers with confidence-gated allocation."""
+
+    def __init__(
+        self,
+        config: StreamBufferConfig,
+        hierarchy,
+        line_size: int = 64,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.line_size = line_size
+        self.predictor = StridePredictor(config.history_table_entries)
+        self.markov: Optional[MarkovPredictor] = (
+            MarkovPredictor(config.markov_entries)
+            if config.markov_entries > 0
+            else None
+        )
+        self._buffers: List[Optional[_StreamBuffer]] = [
+            None for _ in range(config.num_buffers)
+        ]
+        #: block address -> owning buffer, for O(1) demand probes.
+        self._block_map: Dict[int, _StreamBuffer] = {}
+        self._clock = 0
+        self.allocations = 0
+        self.stream_hits = 0
+        self.prefetches_issued = 0
+
+    # ------------------------------------------------------------------
+    def _block_of(self, addr: int) -> int:
+        return addr - (addr % self.line_size)
+
+    def _issue_next(self, buffer: _StreamBuffer, cycle: int) -> None:
+        """Request the next block of the stream.
+
+        Steps that land in the current block (tiny strides), in another
+        buffer, or on a line that is already resident or in flight
+        (e.g. a software prefetch got there first) are skipped — an entry
+        is only spent on a real outstanding fetch, so the buffer extends
+        its lead *beyond* whatever is already covered.
+        """
+        for _ in range(8):  # bound the skip search
+            addr = buffer.next_addr
+            if addr is None:
+                return  # a Markov walk ran out of recorded transitions
+            if buffer.markov:
+                assert self.markov is not None
+                buffer.next_addr = self.markov.predict(self._block_of(addr))
+            else:
+                buffer.next_addr += buffer.stride
+            block = self._block_of(addr)
+            if block in buffer.blocks or block in self._block_map:
+                continue
+            if not self.hierarchy.hardware_prefetch(addr, cycle):
+                continue  # resident or pending already: nothing to track
+            self.prefetches_issued += 1
+            buffer.blocks.append(block)
+            self._block_map[block] = buffer
+            return
+
+    def _top_up(self, buffer: _StreamBuffer, cycle: int) -> None:
+        while len(buffer.blocks) < self.config.entries_per_buffer:
+            before = len(buffer.blocks)
+            self._issue_next(buffer, cycle)
+            if len(buffer.blocks) == before:
+                break
+
+    # ------------------------------------------------------------------
+    def on_demand_load(
+        self, pc: int, addr: int, l1_hit: bool, cycle: int
+    ) -> None:
+        """Hook invoked by the hierarchy on every demand load."""
+        self._clock += 1
+        self.predictor.update(pc, addr)
+        block = self._block_of(addr)
+        buffer = self._block_map.get(block)
+        if buffer is not None:
+            # The demand stream caught up with this buffer — whether the
+            # prefetched line has already landed (an L1 hit) or is still
+            # in flight (a partial hit), the stream advances.
+            self.stream_hits += 1
+            buffer.last_use = self._clock
+            # Consume this block and everything older (skipped entries).
+            index = buffer.blocks.index(block)
+            for consumed in buffer.blocks[: index + 1]:
+                self._block_map.pop(consumed, None)
+            del buffer.blocks[: index + 1]
+            self._top_up(buffer, cycle)
+            return
+        if l1_hit:
+            return
+        # Stride-filtered Markov training: only misses the stride
+        # predictor cannot explain feed the transition table.
+        if self.markov is not None and self.predictor.predict(pc) is None:
+            self.markov.train(block)
+        self._maybe_allocate(pc, addr, cycle)
+
+    def _maybe_allocate(self, pc: int, addr: int, cycle: int) -> None:
+        stride = self.predictor.predict(
+            pc, min_confidence=self.config.allocation_confidence
+        )
+        markov_next = None
+        if stride is None:
+            if self.markov is not None:
+                markov_next = self.markov.predict(self._block_of(addr))
+            if markov_next is None:
+                return
+        # Replace the LRU buffer (empty slots first).
+        slot = None
+        for i, buffer in enumerate(self._buffers):
+            if buffer is None:
+                slot = i
+                break
+        if slot is None:
+            slot = min(
+                range(len(self._buffers)),
+                key=lambda i: self._buffers[i].last_use,
+            )
+            for stale in self._buffers[slot].blocks:
+                self._block_map.pop(stale, None)
+        if stride is not None:
+            new = _StreamBuffer(
+                pc=pc, stride=stride, next_addr=addr + stride
+            )
+        else:
+            new = _StreamBuffer(
+                pc=pc, stride=0, next_addr=markov_next, markov=True
+            )
+        new.last_use = self._clock
+        self._buffers[slot] = new
+        self.allocations += 1
+        self._top_up(new, cycle)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_buffers(self) -> int:
+        return sum(1 for b in self._buffers if b is not None)

@@ -1,0 +1,51 @@
+"""Instruction-set substrate: opcodes, instructions, programs, assembler."""
+
+from .assembler import Assembler
+from .disasm import disassemble, format_instruction, format_instructions
+from .instruction import Instruction
+from .opcodes import (
+    BRANCH_OPCODES,
+    CONDITIONAL_BRANCHES,
+    LOAD_OPCODES,
+    MEMORY_OPCODES,
+    Opcode,
+    STORE_OPCODES,
+    is_branch,
+    is_conditional_branch,
+    is_load,
+    is_store,
+)
+from .program import Program
+from .registers import (
+    NUM_REGISTERS,
+    OPTIMIZER_SCRATCH_REGISTERS,
+    PROGRAM_REGISTERS,
+    ZERO_REGISTER,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "Assembler",
+    "BRANCH_OPCODES",
+    "CONDITIONAL_BRANCHES",
+    "Instruction",
+    "LOAD_OPCODES",
+    "MEMORY_OPCODES",
+    "NUM_REGISTERS",
+    "Opcode",
+    "OPTIMIZER_SCRATCH_REGISTERS",
+    "PROGRAM_REGISTERS",
+    "Program",
+    "STORE_OPCODES",
+    "ZERO_REGISTER",
+    "disassemble",
+    "format_instruction",
+    "format_instructions",
+    "is_branch",
+    "is_conditional_branch",
+    "is_load",
+    "is_store",
+    "parse_register",
+    "register_name",
+]

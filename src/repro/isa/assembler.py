@@ -1,0 +1,230 @@
+"""A small assembler DSL for building workload programs.
+
+Workloads construct programs through method calls rather than parsing text::
+
+    asm = Assembler("mcf")
+    asm.lda("r1", "r31", HEAD_ADDR)      # r1 = &head
+    asm.label("loop")
+    asm.ldq("r2", "r1", 0)               # r2 = node->next
+    asm.ldq("r3", "r1", 8)               # r3 = node->value
+    asm.addq("r4", "r4", rb="r3")
+    asm.move("r1", "r2")
+    asm.bne("r2", "loop")
+    asm.halt()
+    program = asm.build()
+
+Register operands are names (``"r5"``) or raw indices.  Branch targets are
+label strings, resolved (forward references included) by :meth:`build`.
+Writes to optimizer-reserved registers are rejected at assembly time — see
+:mod:`repro.isa.registers`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import Program
+from .registers import check_program_register, parse_register
+
+RegOperand = Union[str, int]
+
+
+def _reg(operand: RegOperand) -> int:
+    """Normalise a register operand (name or index) to an index."""
+    if isinstance(operand, str):
+        return parse_register(operand)
+    if isinstance(operand, int):
+        if not 0 <= operand < 32:
+            raise ValueError(f"register index out of range: {operand}")
+        return operand
+    raise TypeError(f"bad register operand: {operand!r}")
+
+
+class Assembler:
+    """Incrementally builds a :class:`repro.isa.program.Program`."""
+
+    def __init__(self, name: str = "program", allow_reserved: bool = False):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        #: True when assembling optimizer-inserted code, which is allowed to
+        #: use the reserved scratch registers.
+        self._allow_reserved = allow_reserved
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+    @property
+    def here(self) -> int:
+        """PC of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def label(self, name: str) -> int:
+        """Define ``name`` at the current PC and return that PC."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = self.here
+        return self.here
+
+    def emit(self, inst: Instruction) -> Instruction:
+        """Append a pre-built instruction (checked for reserved registers)."""
+        dest = inst.destination_register()
+        if dest is not None and not self._allow_reserved:
+            check_program_register(dest)
+        self._instructions.append(inst)
+        return inst
+
+    def build(self) -> Program:
+        """Resolve labels and return the finished, validated program."""
+        for pc, inst in enumerate(self._instructions):
+            if inst.label is not None and inst.target is None:
+                if inst.label not in self._labels:
+                    raise ValueError(
+                        f"undefined label {inst.label!r} at PC {pc}"
+                    )
+                inst.target = self._labels[inst.label]
+        program = Program(
+            instructions=self._instructions,
+            labels=dict(self._labels),
+            entry=0,
+            name=self.name,
+        )
+        program.validate()
+        return program
+
+    # ------------------------------------------------------------------
+    # Memory.
+    # ------------------------------------------------------------------
+    def ldq(self, rd: RegOperand, ra: RegOperand, disp: int = 0) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.LDQ, rd=_reg(rd), ra=_reg(ra), disp=disp)
+        )
+
+    def ldq_nf(
+        self, rd: RegOperand, ra: RegOperand, disp: int = 0
+    ) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.LDQ_NF, rd=_reg(rd), ra=_reg(ra), disp=disp)
+        )
+
+    def stq(self, rd: RegOperand, ra: RegOperand, disp: int = 0) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.STQ, rd=_reg(rd), ra=_reg(ra), disp=disp)
+        )
+
+    def prefetch(self, ra: RegOperand, disp: int = 0) -> Instruction:
+        return self.emit(Instruction(Opcode.PREFETCH, ra=_reg(ra), disp=disp))
+
+    def lda(self, rd: RegOperand, ra: RegOperand, disp: int = 0) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.LDA, rd=_reg(rd), ra=_reg(ra), disp=disp)
+        )
+
+    # ------------------------------------------------------------------
+    # ALU.  Exactly one of ``rb`` / ``imm`` must be given.
+    # ------------------------------------------------------------------
+    def _alu(
+        self,
+        opcode: Opcode,
+        rd: RegOperand,
+        ra: RegOperand,
+        rb: Optional[RegOperand],
+        imm: Optional[int],
+    ) -> Instruction:
+        if (rb is None) == (imm is None):
+            raise ValueError(
+                f"{opcode.value}: exactly one of rb/imm must be given"
+            )
+        return self.emit(
+            Instruction(
+                opcode,
+                rd=_reg(rd),
+                ra=_reg(ra),
+                rb=None if rb is None else _reg(rb),
+                imm=imm,
+            )
+        )
+
+    def addq(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.ADDQ, rd, ra, rb, imm)
+
+    def subq(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.SUBQ, rd, ra, rb, imm)
+
+    def mulq(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.MULQ, rd, ra, rb, imm)
+
+    def and_(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.AND, rd, ra, rb, imm)
+
+    def or_(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.OR, rd, ra, rb, imm)
+
+    def xor(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.XOR, rd, ra, rb, imm)
+
+    def sll(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.SLL, rd, ra, rb, imm)
+
+    def srl(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.SRL, rd, ra, rb, imm)
+
+    def addf(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.ADDF, rd, ra, rb, imm)
+
+    def subf(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.SUBF, rd, ra, rb, imm)
+
+    def mulf(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.MULF, rd, ra, rb, imm)
+
+    def divf(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.DIVF, rd, ra, rb, imm)
+
+    def cmpeq(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.CMPEQ, rd, ra, rb, imm)
+
+    def cmplt(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.CMPLT, rd, ra, rb, imm)
+
+    def cmple(self, rd, ra, rb=None, imm=None) -> Instruction:
+        return self._alu(Opcode.CMPLE, rd, ra, rb, imm)
+
+    # ------------------------------------------------------------------
+    # Control flow.
+    # ------------------------------------------------------------------
+    def br(self, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BR, label=label))
+
+    def beq(self, ra: RegOperand, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BEQ, ra=_reg(ra), label=label))
+
+    def bne(self, ra: RegOperand, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BNE, ra=_reg(ra), label=label))
+
+    def blt(self, ra: RegOperand, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BLT, ra=_reg(ra), label=label))
+
+    def bge(self, ra: RegOperand, label: str) -> Instruction:
+        return self.emit(Instruction(Opcode.BGE, ra=_reg(ra), label=label))
+
+    def jmp(self, ra: RegOperand) -> Instruction:
+        return self.emit(Instruction(Opcode.JMP, ra=_reg(ra)))
+
+    # ------------------------------------------------------------------
+    # Misc.
+    # ------------------------------------------------------------------
+    def move(self, rd: RegOperand, ra: RegOperand) -> Instruction:
+        return self.emit(Instruction(Opcode.MOVE, rd=_reg(rd), ra=_reg(ra)))
+
+    def li(self, rd: RegOperand, value: int) -> Instruction:
+        """Load-immediate pseudo-op: ``lda rd, value(r31)``."""
+        return self.lda(rd, "r31", value)
+
+    def nop(self) -> Instruction:
+        return self.emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> Instruction:
+        return self.emit(Instruction(Opcode.HALT))

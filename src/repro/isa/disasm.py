@@ -1,0 +1,71 @@
+"""Textual disassembly, for debugging traces and optimizer output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .instruction import Instruction
+from .opcodes import (
+    CONDITIONAL_BRANCHES,
+    FP_ALU_OPCODES,
+    INT_ALU_OPCODES,
+    Opcode,
+)
+from .program import Program
+from .registers import register_name
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction in a readable Alpha-ish syntax."""
+    op = inst.opcode
+    if op in (Opcode.LDQ, Opcode.LDQ_NF, Opcode.STQ):
+        return (
+            f"{op.value} {register_name(inst.rd)}, "
+            f"{inst.disp}({register_name(inst.ra)})"
+        )
+    if op is Opcode.PREFETCH:
+        return f"{op.value} {inst.disp}({register_name(inst.ra)})"
+    if op is Opcode.LDA:
+        return (
+            f"lda {register_name(inst.rd)}, "
+            f"{inst.disp}({register_name(inst.ra)})"
+        )
+    if op in INT_ALU_OPCODES or op in FP_ALU_OPCODES:
+        rhs = register_name(inst.rb) if inst.rb is not None else f"#{inst.imm}"
+        return (
+            f"{op.value} {register_name(inst.rd)}, "
+            f"{register_name(inst.ra)}, {rhs}"
+        )
+    if op in CONDITIONAL_BRANCHES:
+        target = inst.label if inst.target is None else inst.target
+        return f"{op.value} {register_name(inst.ra)}, {target}"
+    if op is Opcode.BR:
+        target = inst.label if inst.target is None else inst.target
+        return f"br {target}"
+    if op is Opcode.JMP:
+        return f"jmp ({register_name(inst.ra)})"
+    if op is Opcode.MOVE:
+        return f"move {register_name(inst.rd)}, {register_name(inst.ra)}"
+    return op.value
+
+
+def disassemble(
+    program: Program, start: int = 0, end: Optional[int] = None
+) -> str:
+    """Render a PC range of ``program`` with labels and PC numbers."""
+    end = len(program) if end is None else end
+    pc_to_label = {pc: name for name, pc in program.labels.items()}
+    lines = []
+    for pc in range(start, min(end, len(program))):
+        if pc in pc_to_label:
+            lines.append(f"{pc_to_label[pc]}:")
+        lines.append(f"  {pc:5d}  {format_instruction(program.instructions[pc])}")
+    return "\n".join(lines)
+
+
+def format_instructions(instructions: Iterable[Instruction]) -> str:
+    """Render a bare instruction sequence (e.g. a hot trace body)."""
+    return "\n".join(
+        f"  {i:5d}  {format_instruction(inst)}"
+        for i, inst in enumerate(instructions)
+    )

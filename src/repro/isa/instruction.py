@@ -1,0 +1,109 @@
+"""Instruction representation.
+
+An :class:`Instruction` is a mutable record — mutability is deliberate: the
+self-repairing optimizer *patches prefetch instruction bits in place*
+(paper section 3.5.1), which we model by rewriting the ``disp`` field of a
+``PREFETCH`` instruction that already sits inside a linked hot trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .opcodes import (
+    Opcode,
+    is_branch,
+    is_conditional_branch,
+    is_load,
+    is_store,
+    writes_register,
+)
+
+
+@dataclass
+class Instruction:
+    """One machine instruction.
+
+    Fields are used according to the opcode:
+
+    * ALU three-operand: ``rd <- ra op (rb | imm)`` — exactly one of ``rb``
+      or ``imm`` is set.
+    * ``LDA``: ``rd <- ra + disp``.
+    * Loads: ``rd <- mem[ra + disp]``; stores: ``mem[ra + disp] <- rd``.
+    * ``PREFETCH``: prefetch ``mem[ra + disp]``.
+    * Conditional branches: test ``ra``, jump to ``target`` (a PC index).
+    * ``BR``: jump to ``target``; ``JMP``: jump to address in ``ra``.
+    * ``MOVE``: ``rd <- ra``.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    ra: Optional[int] = None
+    rb: Optional[int] = None
+    imm: Optional[int] = None
+    disp: int = 0
+    target: Optional[int] = None
+    #: Unresolved label for the branch target; resolved by the assembler.
+    label: Optional[str] = None
+    #: Metadata attached by the optimizer (e.g. prefetch bookkeeping).
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Classification helpers (thin wrappers so call sites read naturally).
+    # ------------------------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.opcode)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.opcode)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return is_conditional_branch(self.opcode)
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self.opcode is Opcode.PREFETCH
+
+    @property
+    def writes_rd(self) -> bool:
+        return writes_register(self.opcode) and self.rd is not None
+
+    def source_registers(self) -> tuple:
+        """Return the register indices this instruction reads."""
+        sources = []
+        if self.ra is not None:
+            sources.append(self.ra)
+        if self.rb is not None:
+            sources.append(self.rb)
+        if self.opcode is Opcode.STQ and self.rd is not None:
+            # A store reads the register it names as "rd" (the value).
+            sources.append(self.rd)
+        return tuple(sources)
+
+    def destination_register(self) -> Optional[int]:
+        """Return the register this instruction writes, or None."""
+        if self.writes_rd:
+            return self.rd
+        return None
+
+    def copy(self) -> "Instruction":
+        """Return an independent copy (meta is shallow-copied)."""
+        return Instruction(
+            opcode=self.opcode,
+            rd=self.rd,
+            ra=self.ra,
+            rb=self.rb,
+            imm=self.imm,
+            disp=self.disp,
+            target=self.target,
+            label=self.label,
+            meta=dict(self.meta),
+        )

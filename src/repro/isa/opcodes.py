@@ -1,0 +1,148 @@
+"""Opcode definitions for the reproduction ISA.
+
+The ISA is a small Alpha-flavoured register machine: 32 integer registers,
+three-operand arithmetic, displacement-addressed loads and stores, compare
+instructions that write a register, and conditional branches that test a
+register against zero.  It is deliberately minimal — just enough for the
+synthetic workloads and for the dynamic optimizer to manipulate real
+instructions the way the paper's optimizer patches Alpha machine code.
+
+Two opcodes exist specifically for the prefetcher:
+
+* ``PREFETCH`` — a non-binding, non-faulting cache-line prefetch of
+  ``disp(base)``.  It never stalls the pipeline and never raises.
+* ``LDQ_NF`` — a non-faulting load.  The pointer-prefetch transformation
+  (paper section 3.4.3) dereferences a possibly-garbage pointer, so the
+  inserted load must not fault; unmapped addresses read as zero.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Every instruction opcode understood by the functional executor."""
+
+    # Memory.
+    LDQ = "ldq"          # rd <- mem[ra + disp]
+    LDQ_NF = "ldq_nf"    # non-faulting load (reads 0 from unmapped memory)
+    STQ = "stq"          # mem[ra + disp] <- rd
+    PREFETCH = "prefetch"  # non-binding prefetch of mem[ra + disp]
+
+    # Address arithmetic (Alpha's LDA: rd <- ra + disp, no memory access).
+    LDA = "lda"
+
+    # Integer arithmetic / logic.
+    ADDQ = "addq"
+    SUBQ = "subq"
+    MULQ = "mulq"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+
+    # Floating point (operates on the same register file; the distinction
+    # matters only for issue-port accounting in the timing model).
+    ADDF = "addf"
+    SUBF = "subf"
+    MULF = "mulf"
+    DIVF = "divf"
+
+    # Compares: rd <- 1 if cond else 0.
+    CMPEQ = "cmpeq"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+
+    # Control flow.  Conditional branches test ra against zero.
+    BR = "br"            # unconditional, pc-relative via target
+    BEQ = "beq"          # taken if ra == 0
+    BNE = "bne"          # taken if ra != 0
+    BLT = "blt"          # taken if ra < 0
+    BGE = "bge"          # taken if ra >= 0
+    JMP = "jmp"          # indirect jump to address in ra
+
+    # Misc.
+    MOVE = "move"        # rd <- ra (the Trident-added ISA helper, section 3.2)
+    NOP = "nop"
+    HALT = "halt"        # ends the simulated program
+
+
+#: Opcodes that read data memory.
+LOAD_OPCODES = frozenset({Opcode.LDQ, Opcode.LDQ_NF})
+
+#: Opcodes that write data memory.
+STORE_OPCODES = frozenset({Opcode.STQ})
+
+#: All memory-touching opcodes (prefetch included: it accesses the hierarchy
+#: but is non-binding).
+MEMORY_OPCODES = LOAD_OPCODES | STORE_OPCODES | {Opcode.PREFETCH}
+
+#: Conditional branches (have a direction the branch profiler records).
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+)
+
+#: Every control-flow opcode.
+BRANCH_OPCODES = CONDITIONAL_BRANCHES | {Opcode.BR, Opcode.JMP}
+
+#: Three-operand integer ALU opcodes (rd <- ra op rb/imm).
+INT_ALU_OPCODES = frozenset(
+    {
+        Opcode.ADDQ,
+        Opcode.SUBQ,
+        Opcode.MULQ,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.CMPEQ,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+    }
+)
+
+#: Floating-point ALU opcodes.
+FP_ALU_OPCODES = frozenset(
+    {Opcode.ADDF, Opcode.SUBF, Opcode.MULF, Opcode.DIVF}
+)
+
+#: "Simple arithmetic" opcodes for the stride-recurrence test of section
+#: 3.4.1: a load is a stride load if the recurrence between instances of its
+#: base register is a single one of these with a constant argument.
+SIMPLE_RECURRENCE_OPCODES = frozenset({Opcode.LDA, Opcode.ADDQ, Opcode.SUBQ})
+
+#: Opcodes that define (write) their ``rd`` register.
+REG_WRITING_OPCODES = (
+    INT_ALU_OPCODES
+    | FP_ALU_OPCODES
+    | LOAD_OPCODES
+    | {Opcode.LDA, Opcode.MOVE}
+)
+
+
+def writes_register(opcode: Opcode) -> bool:
+    """Return True when ``opcode`` writes its destination register."""
+    return opcode in REG_WRITING_OPCODES
+
+
+def is_load(opcode: Opcode) -> bool:
+    """Return True when ``opcode`` reads data memory into a register."""
+    return opcode in LOAD_OPCODES
+
+
+def is_store(opcode: Opcode) -> bool:
+    """Return True when ``opcode`` writes data memory."""
+    return opcode in STORE_OPCODES
+
+
+def is_branch(opcode: Opcode) -> bool:
+    """Return True when ``opcode`` may redirect control flow."""
+    return opcode in BRANCH_OPCODES
+
+
+def is_conditional_branch(opcode: Opcode) -> bool:
+    """Return True for branches with a runtime-determined direction."""
+    return opcode in CONDITIONAL_BRANCHES

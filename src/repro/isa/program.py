@@ -1,0 +1,84 @@
+"""Program container: a flat instruction list with symbolic labels.
+
+PCs are instruction indices (each instruction occupies one PC slot).  Data
+addresses are a separate byte-addressed space held by
+:class:`repro.memory.mainmem.DataMemory`; the two never alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .instruction import Instruction
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: the instruction stream; PC ``i`` is ``instructions[i]``.
+        labels: label name -> PC index.
+        entry: PC at which execution starts.
+        name: human-readable workload name.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, pc: int) -> Instruction:
+        """Return the instruction at ``pc``.
+
+        Raises ``IndexError`` when the PC runs off the end of the program —
+        a workload bug, surfaced loudly rather than silently halting.
+        """
+        if 0 <= pc < len(self.instructions):
+            return self.instructions[pc]
+        raise IndexError(f"PC {pc} outside program '{self.name}'")
+
+    def label_pc(self, label: str) -> int:
+        """Return the PC a label points at."""
+        return self.labels[label]
+
+    def pc_label(self, pc: int) -> Optional[str]:
+        """Return a label naming ``pc``, if any (first match wins)."""
+        for name, target in self.labels.items():
+            if target == pc:
+                return name
+        return None
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation.
+
+        * every branch has a resolved in-range target (JMP excepted),
+        * the entry PC is in range,
+        * the program contains at least one ``HALT`` (so bounded workloads
+          terminate even without an instruction budget).
+        """
+        from .opcodes import Opcode
+
+        n = len(self.instructions)
+        if not 0 <= self.entry < max(n, 1):
+            raise ValueError(f"entry PC {self.entry} out of range")
+        has_halt = False
+        for pc, inst in enumerate(self.instructions):
+            if inst.opcode is Opcode.HALT:
+                has_halt = True
+            if inst.is_branch and inst.opcode is not Opcode.JMP:
+                if inst.target is None:
+                    raise ValueError(
+                        f"unresolved branch at PC {pc} (label={inst.label!r})"
+                    )
+                if not 0 <= inst.target < n:
+                    raise ValueError(
+                        f"branch at PC {pc} targets out-of-range PC "
+                        f"{inst.target}"
+                    )
+        if n and not has_halt:
+            raise ValueError(f"program '{self.name}' has no HALT")

@@ -1,0 +1,84 @@
+"""Register-file conventions for the reproduction ISA.
+
+There are 32 integer registers ``r0`` .. ``r31``.  ``r31`` is hard-wired to
+zero, as on Alpha.  Registers ``r28`` .. ``r30`` are *reserved for the
+dynamic optimizer*: the pointer-prefetch transformation needs scratch
+registers for its inserted non-faulting dereference loads, and reserving a
+small set (rather than doing liveness analysis over arbitrary traces) mirrors
+how Trident's runtime claims Alpha's assembler temporaries.
+
+Workload programs assembled through :class:`repro.isa.assembler.Assembler`
+are rejected if they write a reserved register, which guarantees the
+optimizer can clobber them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Total number of architectural integer registers.
+NUM_REGISTERS = 32
+
+#: Index of the hard-wired zero register.
+ZERO_REGISTER = 31
+
+#: Registers the dynamic optimizer may clobber in any hot trace.
+OPTIMIZER_SCRATCH_REGISTERS = (28, 29, 30)
+
+#: Registers a workload program may freely use.
+PROGRAM_REGISTERS = tuple(
+    r
+    for r in range(NUM_REGISTERS)
+    if r not in OPTIMIZER_SCRATCH_REGISTERS and r != ZERO_REGISTER
+)
+
+
+def register_name(index: int) -> str:
+    """Return the canonical name (``r<n>``) for a register index."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def parse_register(name: str) -> int:
+    """Parse a register name like ``r7`` (or ``R7``) into its index.
+
+    Raises ``ValueError`` for anything that is not a valid register name.
+    """
+    text = name.strip().lower()
+    if not text.startswith("r"):
+        raise ValueError(f"not a register name: {name!r}")
+    try:
+        index = int(text[1:])
+    except ValueError as exc:
+        raise ValueError(f"not a register name: {name!r}") from exc
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {name!r}")
+    return index
+
+
+def check_program_register(index: int) -> int:
+    """Validate that a workload program may write register ``index``.
+
+    Returns the index unchanged so callers can use it inline.  Writing the
+    zero register is silently permitted (it is simply discarded, as on
+    Alpha); writing an optimizer scratch register is an error because the
+    dynamic optimizer assumes it owns those.
+    """
+    if index in OPTIMIZER_SCRATCH_REGISTERS:
+        raise ValueError(
+            f"r{index} is reserved for the dynamic optimizer; "
+            f"workloads must use r0..r27"
+        )
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return index
+
+
+def fresh_register_pool(exclude: Iterable[int] = ()) -> list[int]:
+    """Return program-usable registers not present in ``exclude``.
+
+    Convenience for workload builders that allocate registers by name.
+    """
+    used = set(exclude)
+    return [r for r in PROGRAM_REGISTERS if r not in used]

@@ -1,0 +1,25 @@
+"""Memory-system substrate: data memory, caches, hierarchy, statistics."""
+
+from .cache import CacheLine, SetAssociativeCache
+from .hierarchy import MemoryHierarchy
+from .mainmem import HEAP_BASE, WORD_SIZE, DataMemory, HeapAllocator
+from .stats import (
+    LoadOutcome,
+    MemoryStats,
+    OutcomeKind,
+    PrefetchSource,
+)
+
+__all__ = [
+    "CacheLine",
+    "DataMemory",
+    "HEAP_BASE",
+    "HeapAllocator",
+    "LoadOutcome",
+    "MemoryHierarchy",
+    "MemoryStats",
+    "OutcomeKind",
+    "PrefetchSource",
+    "SetAssociativeCache",
+    "WORD_SIZE",
+]

@@ -1,0 +1,155 @@
+"""Set-associative cache with LRU replacement and prefetch metadata.
+
+Two pieces of metadata exist purely for the paper's Figure 6 accounting:
+
+* each line remembers whether it was installed by a prefetch and has not
+  yet been demand-referenced (``prefetched`` + ``prefetch_source``), so the
+  first demand touch can be classified *Hit-prefetched*;
+* when a prefetch install evicts a line, the victim's block address is
+  logged, so a later miss on that block can be classified *Miss due to
+  prefetching*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import CacheConfig
+from .stats import PrefetchSource
+
+
+@dataclass
+class CacheLine:
+    """Per-line metadata (the data itself lives in DataMemory)."""
+
+    block: int
+    prefetched: bool = False
+    prefetch_source: Optional[PrefetchSource] = None
+
+
+class SetAssociativeCache:
+    """One cache level.  Addresses are byte addresses; state is per-block."""
+
+    #: How many prefetch-displaced victim tags to remember.
+    DISPLACED_LOG_LIMIT = 4096
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.line_size = config.line_size
+        # set index -> OrderedDict[block -> CacheLine]; last item is MRU.
+        self._sets: Dict[int, OrderedDict] = {}
+        #: Block addresses evicted by a prefetch install, awaiting a
+        #: possible re-miss (bounded FIFO via OrderedDict).
+        self._displaced_by_prefetch: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        return addr - (addr % self.line_size)
+
+    def _set_index(self, block: int) -> int:
+        return (block // self.line_size) % self.num_sets
+
+    def _set_for(self, block: int) -> OrderedDict:
+        index = self._set_index(block)
+        bucket = self._sets.get(index)
+        if bucket is None:
+            bucket = OrderedDict()
+            self._sets[index] = bucket
+        return bucket
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the line holding ``addr``, updating LRU and hit counters.
+
+        With ``touch=False`` the lookup is a pure probe: no LRU update, no
+        counter change (used by the hierarchy when classifying).
+        """
+        block = self.block_of(addr)
+        bucket = self._set_for(block)
+        line = bucket.get(block)
+        if line is None:
+            if touch:
+                self.misses += 1
+            return None
+        if touch:
+            self.hits += 1
+            bucket.move_to_end(block)
+        return line
+
+    def contains(self, addr: int) -> bool:
+        """Pure membership probe, no side effects."""
+        block = self.block_of(addr)
+        return block in self._set_for(block)
+
+    def install(
+        self,
+        addr: int,
+        prefetched: bool = False,
+        source: Optional[PrefetchSource] = None,
+    ) -> Optional[int]:
+        """Bring the block containing ``addr`` in; return any victim block.
+
+        When the block is already present, its prefetch metadata is left
+        alone (a prefetch of a resident line is useless and changes
+        nothing).
+        """
+        block = self.block_of(addr)
+        bucket = self._set_for(block)
+        if block in bucket:
+            bucket.move_to_end(block)
+            return None
+        victim_block = None
+        if len(bucket) >= self.config.associativity:
+            victim_block, _victim_line = bucket.popitem(last=False)
+            self.evictions += 1
+            if prefetched:
+                self._log_displacement(victim_block)
+        bucket[block] = CacheLine(
+            block=block, prefetched=prefetched, prefetch_source=source
+        )
+        return victim_block
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the block containing ``addr``; True if it was present."""
+        block = self.block_of(addr)
+        bucket = self._set_for(block)
+        return bucket.pop(block, None) is not None
+
+    # ------------------------------------------------------------------
+    # Figure-6 displacement bookkeeping.
+    # ------------------------------------------------------------------
+    def _log_displacement(self, block: int) -> None:
+        log = self._displaced_by_prefetch
+        log[block] = True
+        log.move_to_end(block)
+        while len(log) > self.DISPLACED_LOG_LIMIT:
+            log.popitem(last=False)
+
+    def consume_displaced_tag(self, addr: int) -> bool:
+        """True when a miss on ``addr`` matches a prefetch-displaced tag.
+
+        The tag is consumed: each displacement explains at most one miss,
+        matching the paper's "record the tag so that we can identify a
+        *Miss due to prefetching* if a subsequent miss matches".
+        """
+        return (
+            self._displaced_by_prefetch.pop(self.block_of(addr), None)
+            is not None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_blocks(self) -> int:
+        return sum(len(bucket) for bucket in self._sets.values())
+
+    def clear_statistics(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0

@@ -1,0 +1,273 @@
+"""Three-level cache hierarchy with in-flight fill tracking.
+
+The hierarchy is the timing oracle of the simulation: for every demand load
+it answers "how many cycles until the data is here", and it classifies each
+access in the paper's Figure-6 vocabulary (hit / hit-prefetched / partial
+hit / miss / miss-due-to-prefetch).
+
+Fills (demand misses, software prefetches, and stream-buffer prefetches)
+are all modelled uniformly as *pending fills*: a block plus the cycle its
+data arrives.  A demand load that finds its block's fill in flight pays the
+remaining latency — that is exactly the paper's *partial prefetch hit*, and
+it is what the self-repairing optimizer's distance search reduces.  Fills
+serialise on a shared bus (``bus_transfer_cycles`` apart), so prefetching
+too aggressively delays demand traffic — one of the two costs (with cache
+displacement) that make over-long prefetch distances lose.
+
+The optional ``stream_prefetcher`` (see :mod:`repro.hwprefetch`) is invoked
+on every demand load; it may start further fills through
+:meth:`MemoryHierarchy.start_fill`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..config import MachineConfig
+from .cache import SetAssociativeCache
+from .stats import LoadOutcome, MemoryStats, OutcomeKind, PrefetchSource
+
+
+class _PendingFill:
+    """One in-flight cache-line fill."""
+
+    __slots__ = ("block", "ready", "prefetched", "source", "touched")
+
+    def __init__(
+        self,
+        block: int,
+        ready: int,
+        prefetched: bool,
+        source: Optional[PrefetchSource],
+    ) -> None:
+        self.block = block
+        self.ready = ready
+        self.prefetched = prefetched
+        self.source = source
+        #: A demand access already consumed the "first touch" while the
+        #: fill was in flight (so the installed line is no longer counted
+        #: as an untouched prefetch).
+        self.touched = False
+
+
+class MemoryHierarchy:
+    """L1/L2/L3 + DRAM with pending-fill timing and Figure-6 accounting."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        stream_prefetcher: Optional[object] = None,
+    ) -> None:
+        self.config = config
+        self.l1 = SetAssociativeCache(config.l1, "l1")
+        self.l2 = SetAssociativeCache(config.l2, "l2")
+        self.l3 = SetAssociativeCache(config.l3, "l3")
+        self.stats = MemoryStats()
+        #: Injected by the simulation when the policy enables hardware
+        #: prefetching; duck-typed (see repro.hwprefetch.stream_buffer).
+        self.stream_prefetcher = stream_prefetcher
+
+        self._pending: Dict[int, _PendingFill] = {}
+        self._pending_heap: List[Tuple[int, int]] = []
+        self._bus_free = 0
+
+    # ------------------------------------------------------------------
+    # Fill plumbing.
+    # ------------------------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        return self.l1.block_of(addr)
+
+    def _fill_source_latency(self, addr: int) -> int:
+        """Latency for a fill of ``addr``: where does the data come from?
+
+        Touch-free probes: the LRU update happens when the fill installs.
+        """
+        if self.l2.contains(addr):
+            return self.config.l2.latency
+        if self.l3.contains(addr):
+            return self.config.l3.latency
+        return self.config.memory_latency
+
+    def start_fill(
+        self,
+        addr: int,
+        cycle: int,
+        prefetched: bool,
+        source: Optional[PrefetchSource] = None,
+    ) -> _PendingFill:
+        """Begin fetching the block containing ``addr``.
+
+        Returns the (possibly pre-existing) pending fill.  A second request
+        for an in-flight block merges into the first (MSHR behaviour); a
+        demand request upgrades a prefetch fill's priority only in the
+        sense that classification later sees ``prefetched`` of the original
+        fill, which is what the paper's partial-hit accounting wants.
+        """
+        block = self.block_of(addr)
+        existing = self._pending.get(block)
+        if existing is not None:
+            return existing
+        latency = self._fill_source_latency(addr)
+        # Only fills sourced from DRAM occupy the shared memory bus
+        # (Table 1's bus occupancy); on-chip L2/L3 transfers do not.
+        if latency >= self.config.memory_latency:
+            issue = max(cycle, self._bus_free)
+            self._bus_free = issue + self.config.bus_transfer_cycles
+        else:
+            issue = cycle
+        fill = _PendingFill(block, issue + latency, prefetched, source)
+        self._pending[block] = fill
+        heapq.heappush(self._pending_heap, (fill.ready, block))
+        return fill
+
+    def drain(self, cycle: int) -> None:
+        """Install every fill whose data has arrived by ``cycle``."""
+        heap = self._pending_heap
+        while heap and heap[0][0] <= cycle:
+            ready, block = heapq.heappop(heap)
+            fill = self._pending.get(block)
+            if fill is None or fill.ready != ready:
+                continue  # stale heap entry
+            del self._pending[block]
+            self._install(fill)
+
+    def _install(self, fill: _PendingFill) -> None:
+        """Install a completed fill into all levels (inclusive)."""
+        self.l3.install(fill.block)
+        self.l2.install(fill.block)
+        untouched_prefetch = fill.prefetched and not fill.touched
+        self.l1.install(
+            fill.block,
+            prefetched=untouched_prefetch,
+            source=fill.source if untouched_prefetch else None,
+        )
+
+    def flush_pending(self) -> None:
+        """Complete every outstanding fill (end-of-simulation cleanup)."""
+        for fill in list(self._pending.values()):
+            self._install(fill)
+        self._pending.clear()
+        self._pending_heap.clear()
+
+    @property
+    def outstanding_fills(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Demand accesses.
+    # ------------------------------------------------------------------
+    def load(self, pc: int, addr: int, cycle: int) -> LoadOutcome:
+        """Perform a demand load; classify it and return its timing."""
+        self.drain(cycle)
+        outcome = self._classify_load(addr, cycle)
+        self.stats.record(outcome)
+        if self.stream_prefetcher is not None:
+            self.stream_prefetcher.on_demand_load(
+                pc=pc,
+                addr=addr,
+                l1_hit=outcome.kind
+                in (OutcomeKind.HIT, OutcomeKind.HIT_PREFETCHED),
+                cycle=cycle,
+            )
+        return outcome
+
+    def _classify_load(self, addr: int, cycle: int) -> LoadOutcome:
+        l1_latency = self.config.l1.latency
+        line = self.l1.lookup(addr)
+        if line is not None:
+            if line.prefetched:
+                source = line.prefetch_source
+                line.prefetched = False
+                line.prefetch_source = None
+                return LoadOutcome(
+                    OutcomeKind.HIT_PREFETCHED, l1_latency, "l1", source
+                )
+            return LoadOutcome(OutcomeKind.HIT, l1_latency, "l1")
+
+        block = self.block_of(addr)
+        fill = self._pending.get(block)
+        if fill is not None:
+            remaining = max(l1_latency, fill.ready - cycle)
+            if fill.prefetched and not fill.touched:
+                fill.touched = True
+                if remaining <= l1_latency:
+                    # The prefetch fully covered the latency: the data is
+                    # effectively here — a prefetched hit, not a partial.
+                    return LoadOutcome(
+                        OutcomeKind.HIT_PREFETCHED, l1_latency, "l1",
+                        fill.source,
+                    )
+                return LoadOutcome(
+                    OutcomeKind.PARTIAL_HIT, remaining, "inflight",
+                    fill.source,
+                )
+            # Merge with an earlier access to the same in-flight line
+            # (MSHR behaviour).  A near-complete fill is an effective hit.
+            if remaining <= l1_latency:
+                return LoadOutcome(OutcomeKind.HIT, l1_latency, "l1")
+            return LoadOutcome(OutcomeKind.MISS, remaining, "inflight")
+
+        # Full miss: find the supplying level and start the fill.
+        if self.l2.lookup(addr) is not None:
+            level, latency = "l2", self.config.l2.latency
+        elif self.l3.lookup(addr) is not None:
+            level, latency = "l3", self.config.l3.latency
+        else:
+            level, latency = "mem", self.config.memory_latency
+        fill = self.start_fill(addr, cycle, prefetched=False)
+        latency = max(latency, fill.ready - cycle)
+        if self.l1.consume_displaced_tag(addr):
+            return LoadOutcome(
+                OutcomeKind.MISS_DUE_TO_PREFETCH, latency, level
+            )
+        return LoadOutcome(OutcomeKind.MISS, latency, level)
+
+    def load_synthetic(self, addr: int, cycle: int) -> LoadOutcome:
+        """A load inserted by the optimizer (the non-faulting dereference
+        of section 3.4.3).
+
+        It has real timing and moves real lines, but it is not a program
+        load: it is excluded from Figure-6 statistics and does not train
+        the hardware prefetcher.
+        """
+        self.drain(cycle)
+        return self._classify_load(addr, cycle)
+
+    def store(self, addr: int, cycle: int) -> None:
+        """Perform a demand store.
+
+        Stores retire through a store buffer and never stall the model; a
+        store miss allocates the line (write-allocate) without timing.
+        """
+        self.drain(cycle)
+        self.stats.stores += 1
+        if self.l1.lookup(addr) is None and self.block_of(addr) not in self._pending:
+            self.l3.install(addr)
+            self.l2.install(addr)
+            self.l1.install(addr)
+
+    # ------------------------------------------------------------------
+    # Prefetch entry points.
+    # ------------------------------------------------------------------
+    def software_prefetch(self, addr: int, cycle: int) -> bool:
+        """Issue a software prefetch; True when a new fill was started."""
+        self.drain(cycle)
+        self.stats.software_prefetches_issued += 1
+        if self.l1.contains(addr) or self.block_of(addr) in self._pending:
+            self.stats.software_prefetches_useless += 1
+            return False
+        self.start_fill(
+            addr, cycle, prefetched=True, source=PrefetchSource.SOFTWARE
+        )
+        return True
+
+    def hardware_prefetch(self, addr: int, cycle: int) -> bool:
+        """Issue a stream-buffer prefetch; True when a fill was started."""
+        if self.l1.contains(addr) or self.block_of(addr) in self._pending:
+            return False
+        self.stats.hardware_prefetches_issued += 1
+        self.start_fill(
+            addr, cycle, prefetched=True, source=PrefetchSource.STREAM_BUFFER
+        )
+        return True

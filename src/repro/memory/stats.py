@@ -1,0 +1,116 @@
+"""Load-outcome accounting for Figure 6 and general memory statistics.
+
+The paper's Figure 6 breaks all dynamic loads into:
+
+* plain hits ("Hits-none"),
+* first touches of prefetched lines ("Hit-prefetched"),
+* partial prefetch hits (the fill was still in flight),
+* misses,
+* misses caused by prefetch displacement ("Miss due to prefetching").
+
+:class:`LoadOutcome` is the per-access classification the hierarchy
+returns; :class:`MemoryStats` aggregates them, separately for software-
+and hardware-initiated prefetches so the harness can report either view.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class PrefetchSource(enum.Enum):
+    """Who initiated a prefetch fill."""
+
+    SOFTWARE = "software"
+    STREAM_BUFFER = "stream_buffer"
+
+
+class OutcomeKind(enum.Enum):
+    """Figure-6 classification of one demand load."""
+
+    HIT = "hit"
+    HIT_PREFETCHED = "hit_prefetched"
+    PARTIAL_HIT = "partial_hit"
+    MISS = "miss"
+    MISS_DUE_TO_PREFETCH = "miss_due_to_prefetch"
+
+
+@dataclass(frozen=True)
+class LoadOutcome:
+    """What happened to one demand load.
+
+    ``latency`` is the full cycles-until-data (the L1 hit latency for
+    hits); ``level`` names where data was found (``"l1"``, ``"l2"``,
+    ``"l3"``, ``"mem"``, ``"stream"``, ``"inflight"``).  ``miss_latency``
+    is what the DLT should accumulate: 0 for an L1 hit, otherwise the
+    observed latency (this is the "miss latency" of section 3.3).
+    """
+
+    kind: OutcomeKind
+    latency: int
+    level: str
+    prefetch_source: "PrefetchSource | None" = None
+
+    @property
+    def is_miss(self) -> bool:
+        """True when the access did not hit in the L1 (DLT's notion)."""
+        return self.kind in (
+            OutcomeKind.PARTIAL_HIT,
+            OutcomeKind.MISS,
+            OutcomeKind.MISS_DUE_TO_PREFETCH,
+        )
+
+    @property
+    def miss_latency(self) -> int:
+        return self.latency if self.is_miss else 0
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated load outcomes plus prefetch-traffic counters."""
+
+    outcomes: Dict[OutcomeKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in OutcomeKind}
+    )
+    level_hits: Dict[str, int] = field(default_factory=dict)
+    #: HIT_PREFETCHED / PARTIAL_HIT split by who prefetched.
+    prefetched_hits_by_source: Dict[PrefetchSource, int] = field(
+        default_factory=lambda: {src: 0 for src in PrefetchSource}
+    )
+    software_prefetches_issued: int = 0
+    software_prefetches_useless: int = 0  # line already present/in flight
+    hardware_prefetches_issued: int = 0
+    stores: int = 0
+
+    def record(self, outcome: LoadOutcome) -> None:
+        self.outcomes[outcome.kind] += 1
+        self.level_hits[outcome.level] = (
+            self.level_hits.get(outcome.level, 0) + 1
+        )
+        if outcome.prefetch_source is not None and outcome.kind in (
+            OutcomeKind.HIT_PREFETCHED,
+            OutcomeKind.PARTIAL_HIT,
+        ):
+            self.prefetched_hits_by_source[outcome.prefetch_source] += 1
+
+    @property
+    def total_loads(self) -> int:
+        return sum(self.outcomes.values())
+
+    @property
+    def total_misses(self) -> int:
+        return (
+            self.outcomes[OutcomeKind.MISS]
+            + self.outcomes[OutcomeKind.MISS_DUE_TO_PREFETCH]
+        )
+
+    def fraction(self, kind: OutcomeKind) -> float:
+        """Fraction of all loads with this outcome (0 when no loads ran)."""
+        total = self.total_loads
+        return self.outcomes[kind] / total if total else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Figure-6 style breakdown as fractions of all dynamic loads."""
+        return {kind.value: self.fraction(kind) for kind in OutcomeKind}

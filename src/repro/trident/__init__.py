@@ -1,0 +1,36 @@
+"""Trident substrate: event-driven monitoring hardware and runtime."""
+
+from .branch_profiler import BranchProfiler
+from .code_cache import CodeCache
+from .dlt import DelinquentLoadTable, DLTEntry
+from .events import (
+    DelinquentLoadEvent,
+    EventQueue,
+    HotTraceEvent,
+)
+from .helper_thread import HelperThread, RegistrationStructure
+from .optimizations import optimize_trace_body
+from .runtime import TridentRuntime
+from .trace import HotTrace, TraceInstruction, next_trace_id
+from .trace_formation import form_trace
+from .watch_table import WatchEntry, WatchTable
+
+__all__ = [
+    "BranchProfiler",
+    "CodeCache",
+    "DLTEntry",
+    "DelinquentLoadEvent",
+    "DelinquentLoadTable",
+    "EventQueue",
+    "HelperThread",
+    "HotTrace",
+    "HotTraceEvent",
+    "RegistrationStructure",
+    "TraceInstruction",
+    "TridentRuntime",
+    "WatchEntry",
+    "WatchTable",
+    "form_trace",
+    "next_trace_id",
+    "optimize_trace_body",
+]

@@ -1,0 +1,138 @@
+"""The hardware branch profiler that finds hot trace heads.
+
+Trident's profiler (Table 2) is a 256-entry, 4-way associative table of
+4-bit counters plus three standalone 16-bit direction bitmaps.  We model it
+directly:
+
+* Candidate trace heads are targets of taken *backward* branches (loop
+  heads) — the classic trace-head heuristic.
+* Each arrival at a candidate head bumps its 4-bit counter; at saturation
+  the profiler arms a *capture* for that head.
+* Once the captured head is reached again, the directions of subsequent
+  conditional branches are recorded (up to 48, the three 16-bit bitmaps)
+  until control returns to the head — at which point a
+  :class:`~repro.trident.events.HotTraceEvent` is emitted.
+
+The profiler only observes branches executed from the *original* binary;
+once a trace is linked, its branches execute inside the trace and stop
+feeding the profiler.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..config import TridentConfig
+from .events import HotTraceEvent
+
+
+class BranchProfiler:
+    """4-bit-counter hot-head detector with direction capture."""
+
+    def __init__(self, config: TridentConfig) -> None:
+        self.config = config
+        self._num_sets = max(
+            1, config.profiler_entries // config.profiler_associativity
+        )
+        self._assoc = config.profiler_associativity
+        self._counter_max = (1 << config.profiler_counter_bits) - 1
+        # set index -> OrderedDict[head_pc -> counter]; last item is MRU.
+        self._sets: Dict[int, OrderedDict] = {}
+        #: Heads whose capture already produced a trace (don't re-emit).
+        self._captured: set = set()
+        # Active capture state.
+        self._capture_head: Optional[int] = None
+        self._capture_armed_head: Optional[int] = None
+        self._capture_dirs: List[bool] = []
+        self.captures_started = 0
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------
+    def _bucket(self, head_pc: int) -> OrderedDict:
+        index = head_pc % self._num_sets
+        bucket = self._sets.get(index)
+        if bucket is None:
+            bucket = OrderedDict()
+            self._sets[index] = bucket
+        return bucket
+
+    def _bump(self, head_pc: int) -> bool:
+        """Count an arrival at ``head_pc``; True when the counter saturates."""
+        bucket = self._bucket(head_pc)
+        counter = bucket.get(head_pc)
+        if counter is None:
+            if len(bucket) >= self._assoc:
+                bucket.popitem(last=False)  # LRU victim
+            bucket[head_pc] = 1
+            return False
+        bucket.move_to_end(head_pc)
+        if counter >= self._counter_max:
+            return True
+        bucket[head_pc] = counter + 1
+        return counter + 1 >= self._counter_max
+
+    def forget(self, head_pc: int) -> None:
+        """Allow ``head_pc`` to be captured again (trace was unlinked)."""
+        self._captured.discard(head_pc)
+        bucket = self._bucket(head_pc)
+        bucket.pop(head_pc, None)
+
+    # ------------------------------------------------------------------
+    def on_branch(
+        self, pc: int, taken: bool, target: Optional[int], cycle: float
+    ) -> Optional[HotTraceEvent]:
+        """Observe one executed branch; maybe return a hot-trace event."""
+        # 1. If a capture is recording, append this direction.
+        if self._capture_head is not None:
+            event = self._record_capture(pc, taken, target, cycle)
+            if event is not None:
+                return event
+
+        # 2. Arm / count candidate heads: taken backward branches.
+        if taken and target is not None and target <= pc:
+            head = target
+            if head in self._captured:
+                return None
+            if self._capture_armed_head is None and self._bump(head):
+                self._capture_armed_head = head
+            # An armed capture begins at the next arrival at the head —
+            # which is this very branch.
+            if self._capture_armed_head == head:
+                self._begin_capture(head)
+        return None
+
+    def _begin_capture(self, head: int) -> None:
+        self._capture_head = head
+        self._capture_armed_head = None
+        self._capture_dirs = []
+        self.captures_started += 1
+
+    def _record_capture(
+        self, pc: int, taken: bool, target: Optional[int], cycle: float
+    ) -> Optional[HotTraceEvent]:
+        head = self._capture_head
+        # Control returned to the head: the loop closed.
+        if taken and target == head:
+            return self._finish_capture(cycle, closing_taken=True)
+        self._capture_dirs.append(taken)
+        if len(self._capture_dirs) >= self.config.capture_bitmap_branches:
+            return self._finish_capture(cycle, closing_taken=False)
+        return None
+
+    def _finish_capture(
+        self, cycle: float, closing_taken: bool
+    ) -> Optional[HotTraceEvent]:
+        head = self._capture_head
+        dirs = self._capture_dirs
+        self._capture_head = None
+        self._capture_dirs = []
+        if closing_taken:
+            dirs = dirs + [True]
+        if not dirs:
+            return None
+        self._captured.add(head)
+        self.events_emitted += 1
+        return HotTraceEvent(
+            head_pc=head, directions=tuple(dirs), cycle=cycle
+        )

@@ -1,0 +1,66 @@
+"""The code cache: trace storage plus the original-binary patch map.
+
+Trident "inserts the trace into a memory buffer, called the Code Cache, and
+patches the original binary to redirect execution to use the hot trace".
+We model the patch as a map from original head PC to the linked trace; the
+core consults it whenever it computes a new PC.  Re-optimization installs a
+replacement trace under the same head and unlinks the old one (the paper's
+"removes the old hot trace from the hardware watch table").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .trace import HotTrace
+
+
+class CodeCache:
+    """Trace storage keyed by id, with a head-PC patch map."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[int, HotTrace] = {}
+        self._patch_map: Dict[int, HotTrace] = {}
+        self.links = 0
+        self.relinks = 0
+        self.unlinks = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, pc: int) -> Optional[HotTrace]:
+        """The core's fetch-time patch check."""
+        return self._patch_map.get(pc)
+
+    def trace_by_id(self, trace_id: int) -> Optional[HotTrace]:
+        return self._traces.get(trace_id)
+
+    def link(self, trace: HotTrace) -> Optional[HotTrace]:
+        """Patch ``trace.head_pc`` to enter ``trace``.
+
+        Returns the trace that was previously linked at that head (now
+        unlinked), or None.
+        """
+        previous = self._patch_map.get(trace.head_pc)
+        self._traces[trace.trace_id] = trace
+        self._patch_map[trace.head_pc] = trace
+        if previous is not None:
+            self.relinks += 1
+            self._traces.pop(previous.trace_id, None)
+        else:
+            self.links += 1
+        return previous
+
+    def unlink(self, trace: HotTrace) -> None:
+        """Remove the patch for this trace (execution reverts to the
+        original binary at its head)."""
+        current = self._patch_map.get(trace.head_pc)
+        if current is not None and current.trace_id == trace.trace_id:
+            del self._patch_map[trace.head_pc]
+            self.unlinks += 1
+        self._traces.pop(trace.trace_id, None)
+
+    # ------------------------------------------------------------------
+    def linked_traces(self) -> List[HotTrace]:
+        return list(self._patch_map.values())
+
+    def __len__(self) -> int:
+        return len(self._patch_map)

@@ -1,0 +1,193 @@
+"""Classical optimizations applied to freshly formed hot traces.
+
+The paper lists the base optimizations Trident performs when streamlining a
+trace: redundant branch/load removal, constant propagation, instruction
+re-association, strength reduction, and the store/load-to-MOVE conversion
+for legacy long-int/float transfers (section 3.2).  These are deliberately
+conservative — a trace is straight-line code with known branch directions,
+which makes the safety conditions simple to state:
+
+* **Redundant load removal** — a second load of ``disp(base)`` with no
+  intervening store, no redefinition of ``base``, and the first load's
+  destination still live becomes ``MOVE``.
+* **Store/load forwarding** — a load of ``disp(base)`` immediately
+  following (not necessarily adjacently) a store to the same location, with
+  the same safety conditions, becomes ``MOVE`` from the stored register.
+* **Strength reduction** — ``MULQ`` by a power-of-two immediate becomes
+  ``SLL``.
+* **Constant folding** — an ALU op whose operands are known constants
+  (from ``li``/``LDA off(r31)``) becomes a load-immediate.
+
+Redundant *branch* removal falls out of formation itself (unconditional
+branches are never emitted into the body).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.registers import ZERO_REGISTER
+from .trace import TraceInstruction
+
+
+def optimize_trace_body(
+    body: List[TraceInstruction],
+) -> Tuple[List[TraceInstruction], Dict[str, int]]:
+    """Apply the base optimizations; returns (new body, change counts)."""
+    counts = {
+        "redundant_loads_removed": 0,
+        "store_load_forwarded": 0,
+        "strength_reduced": 0,
+        "constants_folded": 0,
+    }
+    body = _forward_memory(body, counts)
+    body = _fold_constants(body, counts)
+    body = _reduce_strength(body, counts)
+    return body, counts
+
+
+def _forward_memory(
+    body: List[TraceInstruction], counts: Dict[str, int]
+) -> List[TraceInstruction]:
+    """Redundant-load removal and store/load forwarding in one pass.
+
+    ``available`` maps (base_reg, base_version, disp) -> register known to
+    hold that memory word, where base_version counts redefinitions of the
+    base register so stale entries die naturally.
+    """
+    reg_version = [0] * 32
+    # (base_reg, base_version, disp) -> (holding_reg, its_version, from_store)
+    available: Dict[Tuple[int, int, int], Tuple[int, int, bool]] = {}
+    result: List[TraceInstruction] = []
+
+    for tinst in body:
+        inst = tinst.inst
+        op = inst.opcode
+        is_forward = False
+
+        if op is Opcode.LDQ and inst.ra is not None and inst.rd is not None:
+            key = (inst.ra, reg_version[inst.ra], inst.disp)
+            holder = available.get(key)
+            if (
+                holder is not None
+                and reg_version[holder[0]] == holder[1]
+                and holder[0] != inst.rd
+            ):
+                tinst = TraceInstruction(
+                    inst=Instruction(
+                        Opcode.MOVE, rd=inst.rd, ra=holder[0]
+                    ),
+                    orig_pc=tinst.orig_pc,
+                )
+                inst = tinst.inst
+                op = inst.opcode
+                is_forward = True
+                if holder[2]:
+                    counts["store_load_forwarded"] += 1
+                else:
+                    counts["redundant_loads_removed"] += 1
+        elif op is Opcode.STQ and inst.ra is not None:
+            # No alias analysis: a store invalidates all memory facts,
+            # then exposes its own value for store/load forwarding.
+            available.clear()
+            key = (inst.ra, reg_version[inst.ra], inst.disp)
+            if inst.rd is not None:
+                available[key] = (inst.rd, reg_version[inst.rd], True)
+
+        result.append(tinst)
+
+        dest = inst.destination_register()
+        if dest is not None and dest != ZERO_REGISTER:
+            reg_version[dest] += 1
+
+        # A (surviving) load exposes its destination as holding the word.
+        if op is Opcode.LDQ and inst.ra is not None and inst.rd is not None:
+            if inst.rd != inst.ra:
+                key = (inst.ra, reg_version[inst.ra], inst.disp)
+                available[key] = (inst.rd, reg_version[inst.rd], False)
+        elif op is Opcode.MOVE and is_forward:
+            pass  # the original fact still stands; nothing to add
+    return result
+
+
+def _fold_constants(
+    body: List[TraceInstruction], counts: Dict[str, int]
+) -> List[TraceInstruction]:
+    """Propagate known constants through LDA/ALU instructions."""
+    known: Dict[int, int] = {}
+    result: List[TraceInstruction] = []
+    for tinst in body:
+        inst = tinst.inst
+        op = inst.opcode
+        if op is Opcode.LDA and inst.ra == ZERO_REGISTER:
+            if inst.rd is not None:
+                known[inst.rd] = inst.disp
+            result.append(tinst)
+            continue
+        folded = False
+        if (
+            op in (Opcode.ADDQ, Opcode.SUBQ, Opcode.MULQ)
+            and inst.ra in known
+        ):
+            rhs: Optional[int] = None
+            if inst.imm is not None:
+                rhs = inst.imm
+            elif inst.rb in known:
+                rhs = known[inst.rb]
+            if rhs is not None and inst.rd is not None:
+                a = known[inst.ra]
+                if op is Opcode.ADDQ:
+                    value = a + rhs
+                elif op is Opcode.SUBQ:
+                    value = a - rhs
+                else:
+                    value = a * rhs
+                if -(2**31) < value < 2**31:
+                    new = TraceInstruction(
+                        inst=Instruction(
+                            Opcode.LDA,
+                            rd=inst.rd,
+                            ra=ZERO_REGISTER,
+                            disp=value,
+                        ),
+                        orig_pc=tinst.orig_pc,
+                    )
+                    result.append(new)
+                    known[inst.rd] = value
+                    counts["constants_folded"] += 1
+                    folded = True
+        if not folded:
+            dest = inst.destination_register()
+            if dest is not None:
+                known.pop(dest, None)
+            result.append(tinst)
+    return result
+
+
+def _reduce_strength(
+    body: List[TraceInstruction], counts: Dict[str, int]
+) -> List[TraceInstruction]:
+    """MULQ by a power-of-two immediate becomes a shift."""
+    result: List[TraceInstruction] = []
+    for tinst in body:
+        inst = tinst.inst
+        if (
+            inst.opcode is Opcode.MULQ
+            and inst.imm is not None
+            and inst.imm > 0
+            and (inst.imm & (inst.imm - 1)) == 0
+        ):
+            shift = inst.imm.bit_length() - 1
+            new = TraceInstruction(
+                inst=Instruction(
+                    Opcode.SLL, rd=inst.rd, ra=inst.ra, imm=shift
+                ),
+                orig_pc=tinst.orig_pc,
+            )
+            result.append(new)
+            counts["strength_reduced"] += 1
+        else:
+            result.append(tinst)
+    return result

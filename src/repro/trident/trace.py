@@ -1,0 +1,100 @@
+"""Hot-trace representation.
+
+A hot trace is a streamlined, straight-line copy of the basic blocks that
+executed together, produced by :mod:`repro.trident.trace_formation`.
+Conditional branches inside the trace carry their *expected* direction; an
+execution that disagrees exits the trace back into the original binary
+(handled by the core).  Instructions the optimizer inserts (prefetches and
+their non-faulting dereference loads) are marked ``synthetic``: they
+execute and consume issue slots but are not counted as program
+instructions, matching the paper's "IPC results correspond to only the
+number of instructions the original code would have executed".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.instruction import Instruction
+
+_trace_ids = itertools.count(1)
+
+
+def next_trace_id() -> int:
+    return next(_trace_ids)
+
+
+@dataclass(eq=False)
+class TraceInstruction:
+    """One instruction inside a hot trace."""
+
+    inst: Instruction
+    #: PC of the original instruction this one derives from.  Synthetic
+    #: instructions carry the PC of the load they serve (for attribution).
+    orig_pc: int
+    #: For conditional branches: the direction the trace expects.
+    expected_taken: Optional[bool] = None
+    #: True for optimizer-inserted instructions.
+    synthetic: bool = False
+
+    def copy(self) -> "TraceInstruction":
+        return TraceInstruction(
+            inst=self.inst.copy(),
+            orig_pc=self.orig_pc,
+            expected_taken=self.expected_taken,
+            synthetic=self.synthetic,
+        )
+
+
+@dataclass(eq=False)
+class HotTrace:
+    """A formed (possibly prefetch-optimized) hot trace."""
+
+    trace_id: int
+    head_pc: int
+    body: List[TraceInstruction]
+    #: Where execution continues after the last trace instruction.
+    fallthrough_pc: int
+    #: Optimizer bookkeeping (prefetch records live here; see
+    #: repro.core.repair).  The paper stores this in "a memory buffer used
+    #: by the optimizer" — same thing.
+    meta: Dict = field(default_factory=dict)
+    #: Number of times this trace has been re-optimized.
+    version: int = 0
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    @property
+    def original_length(self) -> int:
+        """Instructions excluding optimizer-inserted ones."""
+        return sum(1 for t in self.body if not t.synthetic)
+
+    def load_pcs(self) -> List[int]:
+        """Original PCs of the (non-synthetic) loads in this trace."""
+        return [
+            t.orig_pc for t in self.body if t.inst.is_load and not t.synthetic
+        ]
+
+    def find_load(self, orig_pc: int) -> Optional[TraceInstruction]:
+        for t in self.body:
+            if t.orig_pc == orig_pc and t.inst.is_load and not t.synthetic:
+                return t
+        return None
+
+    def prefetch_instructions(self) -> List[TraceInstruction]:
+        return [t for t in self.body if t.inst.is_prefetch]
+
+    def derive(self, body: List[TraceInstruction]) -> "HotTrace":
+        """A re-optimized successor trace (new id, same head, bumped
+        version); meta is carried over so repair state survives."""
+        return HotTrace(
+            trace_id=next_trace_id(),
+            head_pc=self.head_pc,
+            body=body,
+            fallthrough_pc=self.fallthrough_pc,
+            meta=dict(self.meta),
+            version=self.version + 1,
+        )

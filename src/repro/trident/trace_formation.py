@@ -1,0 +1,75 @@
+"""Trace formation: streamline blocks along a captured branch bitmap.
+
+Given a hot head PC and the branch directions the profiler captured, walk
+the original program statically: follow unconditional branches, consume one
+direction bit per conditional branch, and stop when the walk returns to the
+head (a closed loop), the bitmap runs out, an unsupported instruction
+(JMP/HALT) appears, or the length cap is reached.  The instructions are
+*copied* into the trace — the original binary stays intact, exactly like
+Trident building into its code cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import TridentConfig
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from .trace import HotTrace, TraceInstruction, next_trace_id
+
+
+def form_trace(
+    program: Program,
+    head_pc: int,
+    directions: Sequence[bool],
+    config: TridentConfig,
+) -> Optional[HotTrace]:
+    """Build a hot trace, or None when nothing useful can be formed."""
+    body = []
+    pc = head_pc
+    direction_index = 0
+    max_len = config.max_trace_instructions
+    n = len(program.instructions)
+    # Guard against walks that make no progress (e.g. BR-only cycles).
+    steps = 0
+    max_steps = 4 * max_len
+
+    while len(body) < max_len and 0 <= pc < n:
+        steps += 1
+        if steps > max_steps:
+            break
+        inst = program.instructions[pc]
+        op = inst.opcode
+        if op is Opcode.JMP or op is Opcode.HALT:
+            break
+        if inst.is_conditional_branch:
+            if direction_index >= len(directions):
+                break
+            taken = directions[direction_index]
+            direction_index += 1
+            body.append(
+                TraceInstruction(
+                    inst=inst.copy(), orig_pc=pc, expected_taken=taken
+                )
+            )
+            pc = inst.target if taken else pc + 1
+        elif op is Opcode.BR:
+            # Followed statically; not recorded in the bitmap and not
+            # needed in the trace (the streamlining removes it).
+            pc = inst.target
+        else:
+            body.append(TraceInstruction(inst=inst.copy(), orig_pc=pc))
+            pc += 1
+        if pc == head_pc:
+            break
+
+    if len(body) < 2:
+        return None
+
+    return HotTrace(
+        trace_id=next_trace_id(),
+        head_pc=head_pc,
+        body=body,
+        fallthrough_pc=pc,
+    )

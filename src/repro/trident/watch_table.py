@@ -1,0 +1,103 @@
+"""The watch table: per-trace performance monitoring.
+
+Per the paper (section 3.2 table): each entry tracks a linked trace's
+starting PC, length, *minimal execution time*, and an optimization flag.
+The minimal execution time is the best pass ever observed — the paper uses
+it as "the best possible scenario where all loads in the trace potentially
+hit in the cache", the denominator of the maximal prefetch distance
+(section 3.5.2).  The optimization flag marks a trace currently being
+re-optimized so further delinquent-load events for it are suppressed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class WatchEntry:
+    trace_id: int
+    head_pc: int
+    length: int
+    min_execution_time: float = float("inf")
+    total_completed_time: float = 0.0
+    executions: int = 0
+    completed_executions: int = 0
+    being_optimized: bool = False
+
+    def average_execution_time(self) -> Optional[float]:
+        """Mean completed-pass time (equation 2's denominator source)."""
+        if self.completed_executions == 0:
+            return None
+        return self.total_completed_time / self.completed_executions
+
+
+class WatchTable:
+    """LRU table of the traces currently linked into execution."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()  # trace_id -> WatchEntry
+        self.evictions = 0
+
+    def register(self, trace_id: int, head_pc: int, length: int) -> WatchEntry:
+        """Start watching a newly linked trace."""
+        if trace_id in self._entries:
+            entry = self._entries[trace_id]
+            self._entries.move_to_end(trace_id)
+            return entry
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        entry = WatchEntry(trace_id=trace_id, head_pc=head_pc, length=length)
+        self._entries[trace_id] = entry
+        return entry
+
+    def remove(self, trace_id: int) -> None:
+        self._entries.pop(trace_id, None)
+
+    def lookup(self, trace_id: int) -> Optional[WatchEntry]:
+        entry = self._entries.get(trace_id)
+        if entry is not None:
+            self._entries.move_to_end(trace_id)
+        return entry
+
+    def record_execution(
+        self, trace_id: int, duration: float, completed: bool
+    ) -> None:
+        """Record one pass through a trace.
+
+        Only *completed* passes update the minimal execution time: an early
+        exit runs a prefix of the trace and would understate the time the
+        full trace needs.
+        """
+        entry = self._entries.get(trace_id)
+        if entry is None:
+            return
+        entry.executions += 1
+        if completed:
+            entry.completed_executions += 1
+            entry.total_completed_time += duration
+            if duration > 0 and duration < entry.min_execution_time:
+                entry.min_execution_time = duration
+
+    def min_execution_time(self, trace_id: int) -> Optional[float]:
+        """Best completed-pass time, or None before any completion."""
+        entry = self._entries.get(trace_id)
+        if entry is None or entry.min_execution_time == float("inf"):
+            return None
+        return entry.min_execution_time
+
+    def set_optimizing(self, trace_id: int, value: bool) -> None:
+        entry = self._entries.get(trace_id)
+        if entry is not None:
+            entry.being_optimized = value
+
+    def is_optimizing(self, trace_id: int) -> bool:
+        entry = self._entries.get(trace_id)
+        return entry.being_optimized if entry is not None else False
+
+    def __len__(self) -> int:
+        return len(self._entries)

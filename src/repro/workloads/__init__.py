@@ -1,0 +1,14 @@
+"""The paper's 14 benchmarks as synthetic equivalents (see DESIGN.md)."""
+
+from .base import Workload, WorkloadParts, counted_loop, new_parts
+from .registry import BENCHMARK_NAMES, all_workload_names, load_workload
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Workload",
+    "WorkloadParts",
+    "all_workload_names",
+    "counted_loop",
+    "load_workload",
+    "new_parts",
+]

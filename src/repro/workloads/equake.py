@@ -1,0 +1,69 @@
+"""equake — earthquake simulation (sparse matrix-vector product).
+
+Behaviour reproduced: the CSR sweep.  Column-index and value arrays are
+unit-stride streams (easy for the hardware stream buffers — "simple stride
+patterns with short prefetching distances, hardware prefetching may be
+more advantageous", section 5.5), while the gather through the column
+index into the x-vector is data-dependent and irregular: the DLT finds no
+stride, the code has no recurrence, the load is neither Stride nor
+Pointer — it matures unprefetched.  The x-vector is sized to live in the
+L3 but not the L2, so the gather stays delinquent (35-cycle average miss
+latency, above the half-L2-miss-latency threshold).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, counted_loop, new_parts
+from .data import build_csr_matrix
+
+ROWS = 40_000
+NNZ_PER_ROW = 12
+X_WORDS = 131_072            # 1 MB x-vector: L3-resident, L2-busting
+INNER_ITERS = ROWS * NNZ_PER_ROW
+OUTER_ITERS = 10_000
+
+
+def build(seed: int = 1) -> Workload:
+    parts = new_parts("equake", seed)
+    asm = parts.asm
+
+    col_base, val_base, x_base = build_csr_matrix(
+        parts.alloc,
+        rows=ROWS,
+        nnz_per_row=NNZ_PER_ROW,
+        num_cols=X_WORDS,
+        rng=parts.rng,
+    )
+
+    close_outer = counted_loop(asm, "r21", OUTER_ITERS, "solve")
+    asm.li("r1", col_base)
+    asm.li("r2", val_base)
+    asm.li("r3", x_base)
+    close_inner = counted_loop(asm, "r22", INNER_ITERS, "smvp")
+    asm.ldq("r4", "r1", 0)                # col = col_index[j]   (stride)
+    asm.ldq("r5", "r2", 0)                # v = values[j]        (stride)
+    asm.sll("r6", "r4", imm=3)
+    asm.addq("r6", "r6", rb="r3")
+    asm.ldq("r7", "r6", 0)                # x[col]   (irregular gather)
+    asm.mulf("r8", "r5", rb="r7")
+    asm.addf("r11", "r11", rb="r8")
+    asm.lda("r1", "r1", 8)
+    asm.lda("r2", "r2", 8)
+    close_inner()
+    close_outer()
+    asm.halt()
+
+    return Workload(
+        name="equake",
+        program=asm.build(),
+        memory=parts.memory,
+        description=(
+            "CSR sparse matrix-vector: two unit-stride streams plus an "
+            "irregular gather into an L3-resident vector."
+        ),
+        kind="mixed",
+        paper_notes=(
+            "Hardware prefetching is competitive here (section 5.5): the "
+            "stride part is trivial and the gather is unprefetchable."
+        ),
+    )

@@ -1,0 +1,67 @@
+"""facerec — face recognition (graph-matching correlation over images).
+
+Behaviour reproduced: a correlation kernel whose inner iteration compares
+40 image/graph tap pairs through a dependent normalisation chain.  Like
+applu, the body (~290 instructions) exceeds the 256-entry ROB — the OOO
+window cannot fetch the next iteration's data early — and the chain makes
+the iteration longer than the memory latency, so a prefetch distance of 1
+is already optimal: facerec is one of the paper's benchmarks where "the
+naive estimates were sufficient" and self-repairing adds nothing over the
+basic scheme (section 5.3).
+"""
+
+from __future__ import annotations
+
+from .base import Workload, counted_loop, new_parts
+from .data import build_array
+
+IMAGE_WORDS = 16_000_000
+GRAPH_WORDS = 16_000_000
+#: Tap pairs per iteration: 40 x 8 bytes = five cache lines of each array.
+UNROLL = 40
+INNER_ITERS = 16_000_000 // UNROLL
+OUTER_ITERS = 1_000
+
+
+def build(seed: int = 1) -> Workload:
+    parts = new_parts("facerec", seed)
+    asm = parts.asm
+
+    image = build_array(parts.alloc, IMAGE_WORDS)
+    graph = build_array(parts.alloc, GRAPH_WORDS)
+
+    close_outer = counted_loop(asm, "r21", OUTER_ITERS, "match")
+    asm.li("r1", image)
+    asm.li("r2", graph)
+    close_inner = counted_loop(asm, "r22", INNER_ITERS, "corr")
+    for tap in range(UNROLL):
+        asm.ldq("r4", "r1", tap * 8)      # image[i + tap]
+        asm.ldq("r5", "r2", tap * 8)      # graph[i + tap]
+        asm.subf("r6", "r4", rb="r5")
+        asm.mulf("r6", "r6", rb="r6")
+        # Dependent normalisation carried through r11 (~9 cycles per
+        # tap): the iteration runs past the 350-cycle memory latency.
+        asm.addf("r11", "r11", rb="r6")
+        asm.mulf("r11", "r11", rb="r4")
+        if tap % 8 == 7:
+            asm.divf("r11", "r11", rb="r6")
+    asm.lda("r1", "r1", UNROLL * 8)
+    asm.lda("r2", "r2", UNROLL * 8)
+    close_inner()
+    close_outer()
+    asm.halt()
+
+    return Workload(
+        name="facerec",
+        program=asm.build(),
+        memory=parts.memory,
+        description=(
+            "40 image/graph tap pairs per iteration (~290-instruction "
+            "body, beyond the ROB) with a dependent FP chain."
+        ),
+        kind="stride",
+        paper_notes=(
+            "Distance 1 is already optimal (slow, wide iterations), so "
+            "self-repairing matches but does not beat the basic scheme."
+        ),
+    )

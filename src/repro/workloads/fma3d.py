@@ -1,0 +1,66 @@
+"""fma3d — crash-simulation finite elements (struct-of-fields streams).
+
+Behaviour reproduced: a sweep over element records (five fields each, 40
+bytes) with a moderately long dependent FP update per element.  All five
+field loads share one base register — the same-object case: WHOLE_OBJECT
+covers the record with a single prefetch (plus the extra-block rule) where
+BASIC spends one prefetch per field.  The element computation is slow
+enough that small distances suffice, so — like applu and facerec in the
+paper — self-repairing matches but does not much beat the estimate-based
+scheme.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, counted_loop, new_parts
+from .data import build_array
+
+ELEMENT_WORDS = 5            # 40 bytes: straddles cache lines regularly
+NUM_ELEMENTS = 2_000_000
+INNER_ITERS = NUM_ELEMENTS
+OUTER_ITERS = 2_000
+
+
+def build(seed: int = 1) -> Workload:
+    parts = new_parts("fma3d", seed)
+    asm = parts.asm
+
+    elements = build_array(parts.alloc, NUM_ELEMENTS * ELEMENT_WORDS)
+    forces = build_array(parts.alloc, NUM_ELEMENTS)
+
+    close_outer = counted_loop(asm, "r21", OUTER_ITERS, "step")
+    asm.li("r1", elements)
+    asm.li("r2", forces)
+    close_inner = counted_loop(asm, "r22", INNER_ITERS, "element")
+    asm.ldq("r4", "r1", 0)                # stress
+    asm.ldq("r5", "r1", 8)                # strain
+    asm.ldq("r6", "r1", 16)               # mass
+    asm.ldq("r7", "r1", 24)               # velocity
+    asm.ldq("r8", "r1", 32)               # position
+    asm.mulf("r9", "r4", rb="r5")
+    asm.addf("r9", "r9", rb="r6")
+    asm.divf("r9", "r9", rb="r7")         # dependent: ~12-cycle divide
+    asm.addf("r9", "r9", rb="r8")
+    asm.divf("r11", "r9", rb="r4")        # carried chain across elements
+    asm.addf("r12", "r12", rb="r11")
+    asm.stq("r11", "r2", 0)               # forces[i]
+    asm.lda("r1", "r1", ELEMENT_WORDS * 8)
+    asm.lda("r2", "r2", 8)
+    close_inner()
+    close_outer()
+    asm.halt()
+
+    return Workload(
+        name="fma3d",
+        program=asm.build(),
+        memory=parts.memory,
+        description=(
+            "Element-record sweep: five same-object field loads per "
+            "40-byte record, dependent FP update, store stream."
+        ),
+        kind="stride",
+        paper_notes=(
+            "Same-object grouping collapses five prefetches into the "
+            "minimum-offset + extra-block pattern; repair gains are small."
+        ),
+    )

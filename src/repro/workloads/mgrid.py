@@ -1,0 +1,85 @@
+"""mgrid — multigrid PDE solver (3D stencil: same-object offsets spanning
+lines, multiple delinquent loads per trace).
+
+Behaviour reproduced: the residual stencil reduced to its memory
+essentials — per step (one cache line of the sweep), reads at
+``i−PLANE``, ``i−ROW``, ``i``, ``i+8`` (same line as ``i``: exercises the
+insertion skip rule), ``i+ROW``, ``i+PLANE`` of one base register, plus a
+coefficient array and a second field array, with a result store.  The
+plane spacing is 2 MB, so by the time the sweep returns to a line through
+a lagging offset, ~8 MB of traffic has evicted it from the whole
+hierarchy: *every* stencil arm misses to memory.  Eight load streams meet
+exactly eight stream buffers — hardware covers each with only its 8-line
+lead (~180 cycles of 350), and the repaired software distance finishes
+the job.  Several loads are delinquent at once, so the repair loop's
+"fix one, expose the next" convergence (section 3.5.1) is on display.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, counted_loop, new_parts
+from .data import build_array
+
+ROW_WORDS = 512               # 4 KB rows
+PLANE_WORDS = ROW_WORDS * 512  # 2 MB planes
+GRID_WORDS = 12_000_000
+INNER_ITERS = 1_000_000
+OUTER_ITERS = 500
+
+
+def build(seed: int = 1) -> Workload:
+    parts = new_parts("mgrid", seed)
+    asm = parts.asm
+
+    grid = build_array(parts.alloc, GRID_WORDS)
+    field = build_array(parts.alloc, GRID_WORDS)
+    coeff = build_array(parts.alloc, GRID_WORDS)
+    out = build_array(parts.alloc, GRID_WORDS)
+
+    row = ROW_WORDS * 8
+    plane = PLANE_WORDS * 8
+
+    close_outer = counted_loop(asm, "r21", OUTER_ITERS, "vcycle")
+    asm.li("r1", grid + plane + row)      # interior starting point
+    asm.li("r2", coeff)
+    asm.li("r3", out)
+    asm.li("r4", field)
+    close_inner = counted_loop(asm, "r22", INNER_ITERS, "resid")
+    asm.ldq("r5", "r1", -plane)           # lagging arm: memory re-touch
+    asm.ldq("r6", "r1", -row)
+    asm.ldq("r7", "r1", 0)
+    asm.ldq("r8", "r1", 8)                # same line as the centre (skip)
+    asm.ldq("r9", "r1", row)
+    asm.ldq("r10", "r1", plane)           # leading edge: compulsory miss
+    asm.ldq("r12", "r4", 0)               # second field
+    asm.ldq("r13", "r2", 0)               # coefficient stream
+    asm.addf("r11", "r5", rb="r6")
+    asm.addf("r11", "r11", rb="r8")
+    asm.addf("r11", "r11", rb="r9")
+    asm.addf("r11", "r11", rb="r10")
+    asm.addf("r11", "r11", rb="r12")
+    asm.mulf("r11", "r11", rb="r13")
+    asm.subf("r11", "r7", rb="r11")
+    asm.stq("r11", "r3", 0)
+    asm.lda("r1", "r1", 64)               # one line per step
+    asm.lda("r2", "r2", 64)
+    asm.lda("r3", "r3", 64)
+    asm.lda("r4", "r4", 64)
+    close_inner()
+    close_outer()
+    asm.halt()
+
+    return Workload(
+        name="mgrid",
+        program=asm.build(),
+        memory=parts.memory,
+        description=(
+            "7-point-style 3D stencil at line stride: one same-object "
+            "group spanning five line regions plus two extra streams."
+        ),
+        kind="stride",
+        paper_notes=(
+            "Multiple delinquent loads per trace; repair convergence "
+            "and the line-skip insertion rule are both exercised."
+        ),
+    )

@@ -1,0 +1,72 @@
+"""vis — visualization / rendering (phase-alternating mixed behaviour).
+
+Behaviour reproduced: a render loop alternating two phases — walking a
+display list (allocator-sequential nodes, so the chase load is
+DLT-stride-predictable like mcf) and streaming a framebuffer-style array
+(pure stride).  The phase alternation exercises the optimizer's ability to
+keep several independently-tuned traces live at once, and the DLT's
+ability to hold both phases' loads across phase boundaries.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, counted_loop, new_parts
+from .data import build_array, build_linked_list
+
+NODE_WORDS = 8
+NUM_NODES = 60_000
+FRAME_WORDS = 4_000_000
+LIST_PASS = 2_000
+FRAME_PASS = 6_000
+OUTER_ITERS = 20_000
+
+
+def build(seed: int = 1) -> Workload:
+    parts = new_parts("vis", seed)
+    asm = parts.asm
+
+    head, _ = build_linked_list(
+        parts.alloc,
+        node_words=NODE_WORDS,
+        count=NUM_NODES,
+        rng=parts.rng,
+    )
+    frame = build_array(parts.alloc, FRAME_WORDS)
+
+    asm.li("r2", frame)
+    asm.li("r1", head)
+    close_outer = counted_loop(asm, "r21", OUTER_ITERS, "frame_loop")
+    # Phase 1: display-list walk (sequential layout => stride-predictable
+    # pointer chase, same-object field loads).
+    close_list = counted_loop(asm, "r22", LIST_PASS, "displaylist")
+    asm.ldq("r3", "r1", 8)                # primitive type
+    asm.ldq("r4", "r1", 16)               # vertex count
+    asm.mulq("r5", "r3", rb="r4")
+    asm.addq("r11", "r11", rb="r5")
+    asm.ldq("r1", "r1", 0)                # next primitive
+    close_list()
+    # Phase 2: framebuffer blend (pure stride stream).
+    close_frame = counted_loop(asm, "r23", FRAME_PASS, "blend")
+    asm.ldq("r6", "r2", 0)
+    asm.ldq("r7", "r2", 8)
+    asm.addf("r8", "r6", rb="r7")
+    asm.stq("r8", "r2", 0)
+    asm.lda("r2", "r2", 16)
+    close_frame()
+    close_outer()
+    asm.halt()
+
+    return Workload(
+        name="vis",
+        program=asm.build(),
+        memory=parts.memory,
+        description=(
+            "Alternating display-list walk (sequential-layout pointer "
+            "chase) and framebuffer stride stream."
+        ),
+        kind="mixed",
+        paper_notes=(
+            "Two traces with different optimal distances live "
+            "simultaneously; both repaired independently."
+        ),
+    )

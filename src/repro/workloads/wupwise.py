@@ -1,0 +1,68 @@
+"""wupwise — lattice QCD (large per-site records spanning several lines).
+
+Behaviour reproduced: the matrix-times-spinor kernel reads a 3x3 complex
+matrix (18 words) and a spinor (6 words) per lattice site — a same-object
+record of 24 words (192 bytes, three cache lines).  The group-prefetch
+skip algorithm emits one prefetch per touched line; the record stride
+(192 bytes) is larger than a line, so the stream buffers' next-block
+guessing is wasteful while the software prefetch lands exactly on the
+record boundaries.
+"""
+
+from __future__ import annotations
+
+from .base import Workload, counted_loop, new_parts
+from .data import build_array
+
+SITE_WORDS = 24              # 192 bytes: three cache lines per site
+NUM_SITES = 1_500_000
+INNER_ITERS = NUM_SITES
+OUTER_ITERS = 2_000
+
+
+def build(seed: int = 1) -> Workload:
+    parts = new_parts("wupwise", seed)
+    asm = parts.asm
+
+    sites = build_array(parts.alloc, NUM_SITES * SITE_WORDS)
+    result = build_array(parts.alloc, NUM_SITES * 2)
+
+    close_outer = counted_loop(asm, "r21", OUTER_ITERS, "sweep")
+    asm.li("r1", sites)
+    asm.li("r2", result)
+    close_inner = counted_loop(asm, "r22", INNER_ITERS, "site")
+    # Sample the record across its three lines (matrix rows + spinor).
+    asm.ldq("r4", "r1", 0)                # m[0][0]
+    asm.ldq("r5", "r1", 32)               # m[0][4]
+    asm.ldq("r6", "r1", 72)               # m[1][..] (second line)
+    asm.ldq("r7", "r1", 104)
+    asm.ldq("r8", "r1", 144)              # spinor (third line)
+    asm.ldq("r9", "r1", 176)
+    asm.mulf("r10", "r4", rb="r8")
+    asm.mulf("r11", "r5", rb="r9")
+    asm.addf("r10", "r10", rb="r11")
+    asm.mulf("r12", "r6", rb="r8")
+    asm.addf("r10", "r10", rb="r12")
+    asm.mulf("r13", "r7", rb="r9")
+    asm.addf("r10", "r10", rb="r13")
+    asm.stq("r10", "r2", 0)
+    asm.lda("r1", "r1", SITE_WORDS * 8)   # 192-byte record stride
+    asm.lda("r2", "r2", 8)
+    close_inner()
+    close_outer()
+    asm.halt()
+
+    return Workload(
+        name="wupwise",
+        program=asm.build(),
+        memory=parts.memory,
+        description=(
+            "192-byte lattice-site records (three lines each) read "
+            "through one base register; record stride above line size."
+        ),
+        kind="stride",
+        paper_notes=(
+            "Same-object skip algorithm emits one prefetch per touched "
+            "line; big whole-object and self-repair gains."
+        ),
+    )

@@ -1,0 +1,156 @@
+"""Tests for trace backout and the phase-change extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import MachineConfig, PrefetchPolicy, TridentConfig
+from repro.memory.stats import LoadOutcome, OutcomeKind
+from repro.trident.runtime import TridentRuntime
+from repro.trident.trace_formation import form_trace
+
+from conftest import simple_stride_program
+
+MISS = LoadOutcome(OutcomeKind.MISS, 350, "mem")
+HIT = LoadOutcome(OutcomeKind.HIT, 3, "l1")
+
+
+def make_runtime(**trident_kwargs):
+    program = simple_stride_program(iters=10_000)
+    return TridentRuntime(
+        program=program,
+        machine=MachineConfig(),
+        trident=TridentConfig(**trident_kwargs),
+        policy=PrefetchPolicy.SELF_REPAIRING,
+    )
+
+
+def link_trace(runtime):
+    trace = form_trace(runtime.program, 2, [True], runtime.trident)
+    runtime.code_cache.link(trace)
+    runtime.watch_table.register(trace.trace_id, trace.head_pc, len(trace))
+    return trace
+
+
+class TestTraceBackout:
+    def test_underperforming_trace_unlinked(self):
+        runtime = make_runtime()
+        trace = link_trace(runtime)
+        # 90% early exits, past the judgement threshold.
+        for i in range(100):
+            runtime.on_trace_execution(trace, 5.0, i % 10 == 0, float(i))
+        assert runtime.trace_at(2) is None
+        assert runtime.traces_backed_out == 1
+
+    def test_healthy_trace_stays(self):
+        runtime = make_runtime()
+        trace = link_trace(runtime)
+        for i in range(200):
+            runtime.on_trace_execution(trace, 5.0, i % 2 == 0, float(i))
+        assert runtime.trace_at(2) is trace
+        assert runtime.traces_backed_out == 0
+
+    def test_no_judgement_before_minimum_sample(self):
+        runtime = make_runtime()
+        trace = link_trace(runtime)
+        for i in range(30):  # below backout_min_executions
+            runtime.on_trace_execution(trace, 5.0, False, float(i))
+        assert runtime.trace_at(2) is trace
+
+    def test_backout_allows_recapture_then_blacklists(self):
+        runtime = make_runtime()
+        profiler = runtime.profiler
+
+        def hot_loop_events(n=40):
+            events = 0
+            for i in range(n):
+                event = profiler.on_branch(6, True, 2, float(i))
+                if event is not None:
+                    runtime.events.push(event)
+                    events += 1
+            return events
+
+        # Initial capture through the profiler marks the head captured.
+        assert hot_loop_events() == 1
+        for attempt in range(runtime.trident.backout_max_retries + 1):
+            trace = link_trace(runtime)
+            for i in range(100):
+                runtime.on_trace_execution(trace, 5.0, False, float(i))
+            assert runtime.trace_at(2) is None
+            if attempt < runtime.trident.backout_max_retries:
+                # The head was forgotten: it can saturate and capture again.
+                assert hot_loop_events() == 1
+        # Retries exhausted: the head stays captured, no more events.
+        assert hot_loop_events() == 0
+
+    def test_trace_being_optimized_not_judged(self):
+        runtime = make_runtime()
+        trace = link_trace(runtime)
+        runtime.watch_table.set_optimizing(trace.trace_id, True)
+        for i in range(100):
+            runtime.on_trace_execution(trace, 5.0, False, float(i))
+        assert runtime.trace_at(2) is trace
+
+
+class TestPhaseDetection:
+    def drive_interval(self, runtime, trace, pc, outcome, loads):
+        addr = 0x100000
+        for _ in range(loads):
+            runtime.on_trace_load(pc, trace, addr, outcome, 0.0)
+            addr += 8  # constant small stride, never delinquency-bound
+
+    def test_phase_shift_clears_mature_flags(self):
+        runtime = make_runtime(
+            phase_detection=True, phase_interval_loads=500
+        )
+        trace = link_trace(runtime)
+        pc = trace.load_pcs()[0]
+        runtime.dlt.update(pc, 0x100000, False, 0)
+        runtime.dlt.set_mature(pc)
+        # Interval 1: ~0% misses; interval 2 establishes the baseline.
+        self.drive_interval(runtime, trace, pc, HIT, 1_000)
+        assert runtime.dlt.lookup(pc).mature
+        # Interval 3: heavy misses -> phase change -> mature cleared.
+        self.drive_interval(runtime, trace, pc, MISS, 500)
+        assert runtime.phase_changes >= 1
+        assert not runtime.dlt.lookup(pc).mature
+
+    def test_stable_phase_never_fires(self):
+        runtime = make_runtime(
+            phase_detection=True, phase_interval_loads=500
+        )
+        trace = link_trace(runtime)
+        pc = trace.load_pcs()[0]
+        self.drive_interval(runtime, trace, pc, HIT, 5_000)
+        assert runtime.phase_changes == 0
+
+    def test_detection_off_by_default(self):
+        runtime = make_runtime()
+        trace = link_trace(runtime)
+        pc = trace.load_pcs()[0]
+        self.drive_interval(runtime, trace, pc, HIT, 9_000)
+        self.drive_interval(runtime, trace, pc, MISS, 9_000)
+        assert runtime.phase_changes == 0
+
+    def test_phase_change_reopens_records(self):
+        from repro.core.repair import PrefetchRecord
+        from repro.isa.instruction import Instruction
+        from repro.isa.opcodes import Opcode
+
+        runtime = make_runtime(
+            phase_detection=True, phase_interval_loads=500
+        )
+        trace = link_trace(runtime)
+        pc = trace.load_pcs()[0]
+        record = PrefetchRecord(
+            group_key=(pc,), load_pcs=(pc,), base_reg=1, stride=8,
+            distance=4, base_offsets=(0,),
+            instructions=[Instruction(Opcode.PREFETCH, ra=1, disp=32)],
+            mature=True, repairs_left=0, max_distance=10,
+        )
+        trace.meta["records"] = {pc: record}
+        self.drive_interval(runtime, trace, pc, HIT, 1_000)
+        self.drive_interval(runtime, trace, pc, MISS, 500)
+        assert not record.mature
+        assert record.repairs_left >= record.max_distance
+        assert record.prev_avg_latency is None

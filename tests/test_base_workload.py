@@ -1,0 +1,93 @@
+"""Tests for the workload base helpers."""
+
+import pytest
+
+from repro.cpu.context import ThreadContext
+from repro.cpu.executor import Executor
+from repro.isa.opcodes import Opcode
+from repro.memory.mainmem import DataMemory
+from repro.workloads.base import (
+    Workload,
+    counted_loop,
+    new_parts,
+)
+
+
+class TestNewParts:
+    def test_parts_are_wired_together(self):
+        parts = new_parts("x", seed=9)
+        assert parts.alloc.memory is parts.memory
+        assert parts.asm.name == "x"
+        # Seeded rng is deterministic.
+        assert parts.rng.random() == new_parts("x", seed=9).rng.random()
+
+
+class TestCountedLoop:
+    def test_emits_closed_loop(self):
+        parts = new_parts("t", 1)
+        asm = parts.asm
+        close = counted_loop(asm, "r1", 5, "loop")
+        asm.addq("r2", "r2", imm=1)
+        close()
+        asm.halt()
+        program = asm.build()
+        # li, [head] addq, subq, bne, halt
+        assert program.label_pc("loop") == 1
+        bne = program.instructions[3]
+        assert bne.opcode is Opcode.BNE
+        assert bne.target == 1
+
+    def test_loop_runs_exactly_count_times(self):
+        parts = new_parts("t", 1)
+        asm = parts.asm
+        close = counted_loop(asm, "r1", 7, "loop")
+        asm.addq("r2", "r2", imm=1)
+        close()
+        asm.halt()
+        program = asm.build()
+        ctx = ThreadContext()
+        executor = Executor(DataMemory())
+        pc = 0
+        for _ in range(200):
+            inst = program.instructions[pc]
+            res = executor.execute(inst, ctx)
+            if ctx.halted:
+                break
+            if res.taken is True and inst.target is not None:
+                pc = inst.target
+            elif res.taken is False or res.taken is None:
+                pc += 1
+        assert ctx.halted
+        assert ctx.regs[2] == 7
+
+    def test_back_edge_is_conditional_backward(self):
+        """The profiler's head-detection contract."""
+        parts = new_parts("t", 1)
+        asm = parts.asm
+        close = counted_loop(asm, "r1", 3, "loop")
+        asm.nop()
+        close()
+        asm.halt()
+        program = asm.build()
+        back_edges = [
+            (pc, inst)
+            for pc, inst in enumerate(program.instructions)
+            if inst.is_conditional_branch and inst.target < pc
+        ]
+        assert len(back_edges) == 1
+
+
+class TestWorkloadDataclass:
+    def test_fields(self):
+        parts = new_parts("t", 1)
+        parts.asm.halt()
+        w = Workload(
+            name="t",
+            program=parts.asm.build(),
+            memory=parts.memory,
+            description="d",
+            kind="stride",
+            paper_notes="n",
+        )
+        assert w.name == "t"
+        assert w.paper_notes == "n"

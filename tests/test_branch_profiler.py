@@ -1,0 +1,109 @@
+"""Tests for the branch profiler's hot-head detection and capture."""
+
+from repro.config import TridentConfig
+from repro.trident.branch_profiler import BranchProfiler
+from repro.trident.events import HotTraceEvent
+
+
+def drive_loop(profiler, head=10, back_pc=20, iterations=30, inner=()):
+    """Simulate a counted loop: optional inner conditional branches then a
+    taken backward branch to ``head``.  Returns all events emitted."""
+    events = []
+    for _ in range(iterations):
+        for pc, taken, target in inner:
+            event = profiler.on_branch(pc, taken, target, cycle=0.0)
+            if event:
+                events.append(event)
+        event = profiler.on_branch(back_pc, True, head, cycle=0.0)
+        if event:
+            events.append(event)
+    return events
+
+
+class TestHotHeadDetection:
+    def test_saturation_produces_event(self):
+        profiler = BranchProfiler(TridentConfig())
+        events = drive_loop(profiler)
+        assert len(events) == 1
+        event = events[0]
+        assert isinstance(event, HotTraceEvent)
+        assert event.head_pc == 10
+        # The closing back-edge direction is recorded as taken.
+        assert event.directions == (True,)
+
+    def test_needs_saturation_count(self):
+        profiler = BranchProfiler(TridentConfig())
+        events = drive_loop(profiler, iterations=10)
+        assert events == []
+
+    def test_forward_branches_never_candidates(self):
+        profiler = BranchProfiler(TridentConfig())
+        for _ in range(100):
+            event = profiler.on_branch(5, True, 50, cycle=0.0)  # forward
+            assert event is None
+
+    def test_not_taken_branches_never_candidates(self):
+        profiler = BranchProfiler(TridentConfig())
+        for _ in range(100):
+            assert profiler.on_branch(20, False, 10, 0.0) is None
+
+    def test_captured_head_not_recaptured(self):
+        profiler = BranchProfiler(TridentConfig())
+        events = drive_loop(profiler, iterations=60)
+        assert len(events) == 1
+
+    def test_forget_allows_recapture(self):
+        profiler = BranchProfiler(TridentConfig())
+        drive_loop(profiler, iterations=40)
+        profiler.forget(10)
+        events = drive_loop(profiler, iterations=40)
+        assert len(events) == 1
+
+
+class TestCapture:
+    def test_inner_branch_directions_recorded(self):
+        profiler = BranchProfiler(TridentConfig())
+        inner = [(12, True, 15), (17, False, 19)]
+        events = drive_loop(profiler, inner=inner, iterations=30)
+        assert len(events) == 1
+        # inner directions in order, then the closing back edge.
+        assert events[0].directions == (True, False, True)
+
+    def test_capture_caps_at_bitmap_budget(self):
+        config = TridentConfig()
+        profiler = BranchProfiler(config)
+        # Saturate the head: the 15th arrival arms and opens the capture
+        # (one more iteration would close it via the back edge).
+        assert drive_loop(profiler, iterations=15) == []
+        # Now a pathological iteration with endless inner branches.
+        event = None
+        for i in range(200):
+            event = profiler.on_branch(100 + i, True, 200 + i, 0.0)
+            if event:
+                break
+        assert event is not None
+        assert len(event.directions) == config.capture_bitmap_branches
+
+    def test_two_loops_detected_sequentially(self):
+        profiler = BranchProfiler(TridentConfig())
+        first = drive_loop(profiler, head=10, back_pc=20, iterations=40)
+        second = drive_loop(profiler, head=50, back_pc=60, iterations=40)
+        assert len(first) == 1 and first[0].head_pc == 10
+        assert len(second) == 1 and second[0].head_pc == 50
+
+    def test_lru_within_profiler_set(self):
+        config = TridentConfig()
+        profiler = BranchProfiler(config)
+        sets = config.profiler_entries // config.profiler_associativity
+        # Five heads mapping to the same set (associativity 4): the first
+        # is evicted before saturating if the others keep arriving.
+        heads = [sets * i for i in range(1, 6)]
+        for _ in range(10):
+            for head in heads:
+                profiler.on_branch(head + 5, True, head, 0.0)
+        # No event yet (counters keep getting evicted or are below max).
+        # Now hammer a single head to saturation.
+        events = drive_loop(
+            profiler, head=heads[0], back_pc=heads[0] + 5, iterations=20
+        )
+        assert len(events) == 1

@@ -1,0 +1,132 @@
+"""Tests for the set-associative cache: geometry, LRU, prefetch metadata."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.stats import PrefetchSource
+
+
+def small_cache(sets=4, assoc=2, line=64):
+    config = CacheConfig(
+        size_bytes=sets * assoc * line, associativity=assoc, latency=3,
+        line_size=line,
+    )
+    return SetAssociativeCache(config, "test")
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        config = CacheConfig(64 * 1024, 2, 3, 64)
+        assert config.num_sets == 512
+
+    def test_invalid_geometry_rejected(self):
+        config = CacheConfig(32, 2, 3, 64)
+        with pytest.raises(ValueError):
+            config.num_sets
+
+    def test_block_alignment(self):
+        cache = small_cache()
+        assert cache.block_of(0) == 0
+        assert cache.block_of(63) == 0
+        assert cache.block_of(64) == 64
+        assert cache.block_of(130) == 128
+
+
+class TestLookupInstall:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(0x100) is None
+        cache.install(0x100)
+        assert cache.lookup(0x100) is not None
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_same_line_words_share_block(self):
+        cache = small_cache()
+        cache.install(0x100)
+        assert cache.lookup(0x108) is not None
+        assert cache.lookup(0x13F) is not None
+
+    def test_untouched_probe_has_no_side_effects(self):
+        cache = small_cache()
+        cache.install(0x100)
+        cache.lookup(0x200, touch=False)
+        assert cache.misses == 0
+        assert cache.contains(0x100)
+        assert not cache.contains(0x200)
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.install(0 * 64)
+        cache.install(1 * 64)
+        cache.lookup(0)          # touch block 0: block 64 becomes LRU
+        victim = cache.install(2 * 64)
+        assert victim == 64
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_install_existing_refreshes_lru(self):
+        cache = small_cache(sets=1, assoc=2)
+        cache.install(0)
+        cache.install(64)
+        cache.install(0)         # refresh block 0
+        cache.install(128)
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_eviction_counted(self):
+        cache = small_cache(sets=1, assoc=1)
+        cache.install(0)
+        cache.install(64)
+        assert cache.evictions == 1
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.install(0x100)
+        assert cache.invalidate(0x108)
+        assert not cache.contains(0x100)
+        assert not cache.invalidate(0x100)
+
+    def test_resident_blocks(self):
+        cache = small_cache()
+        cache.install(0)
+        cache.install(64)
+        cache.install(0)
+        assert cache.resident_blocks == 2
+
+
+class TestPrefetchMetadata:
+    def test_prefetched_bit_set_on_install(self):
+        cache = small_cache()
+        cache.install(0x100, prefetched=True, source=PrefetchSource.SOFTWARE)
+        line = cache.lookup(0x100)
+        assert line.prefetched
+        assert line.prefetch_source is PrefetchSource.SOFTWARE
+
+    def test_install_over_existing_keeps_metadata(self):
+        cache = small_cache()
+        cache.install(0x100)
+        cache.install(0x100, prefetched=True)
+        assert not cache.lookup(0x100).prefetched
+
+    def test_prefetch_displacement_logged_and_consumed(self):
+        cache = small_cache(sets=1, assoc=1)
+        cache.install(0)
+        cache.install(64, prefetched=True)   # evicts block 0
+        assert cache.consume_displaced_tag(0)
+        # consumed: second miss on the same tag is a plain miss
+        assert not cache.consume_displaced_tag(0)
+
+    def test_demand_displacement_not_logged(self):
+        cache = small_cache(sets=1, assoc=1)
+        cache.install(0)
+        cache.install(64)                    # demand install
+        assert not cache.consume_displaced_tag(0)
+
+    def test_displaced_log_bounded(self):
+        cache = small_cache(sets=1, assoc=1)
+        limit = SetAssociativeCache.DISPLACED_LOG_LIMIT
+        for i in range(limit + 10):
+            cache.install(i * 64, prefetched=True)
+        assert len(cache._displaced_by_prefetch) <= limit

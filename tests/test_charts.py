@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.harness.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_simple_bars_scale_to_peak(self):
+        text = bar_chart("T", [("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        a_bar = lines[2].count("#")
+        b_bar = lines[3].count("#")
+        assert b_bar == 10 and a_bar == 5
+
+    def test_baseline_mode_signs(self):
+        text = bar_chart(
+            "T", [("up", 1.5), ("down", 0.5)], baseline=1.0, width=8
+        )
+        assert "+" in text.splitlines()[2]
+        assert "-" in text.splitlines()[3]
+
+    def test_empty_rows(self):
+        assert bar_chart("T", []) == "T"
+
+    def test_unit_suffix(self):
+        text = bar_chart("T", [("a", 2.0)], unit="x")
+        assert "2x" in text
+
+
+class TestGroupedBarChart:
+    def test_legend_and_values(self):
+        text = grouped_bar_chart(
+            "chart",
+            [("mcf", {"hw": 2.0, "sw": 3.0})],
+            series=["hw", "sw"],
+        )
+        assert "# = hw" in text
+        assert "= = sw" in text
+        assert "+100.0%" in text and "+200.0%" in text
+
+    def test_below_baseline_rendered_dotted(self):
+        text = grouped_bar_chart(
+            "chart",
+            [("x", {"s": 0.5})],
+            series=["s"],
+        )
+        row = [l for l in text.splitlines() if l.startswith("x")][0]
+        assert "." in row and "-50.0%" in row
+
+    def test_near_zero_deltas_have_no_bar(self):
+        text = grouped_bar_chart(
+            "chart",
+            [("x", {"s": 1.001})],
+            series=["s"],
+        )
+        row = [l for l in text.splitlines() if l.startswith("x")][0]
+        assert "#" not in row
+
+    def test_missing_series_skipped(self):
+        text = grouped_bar_chart(
+            "chart",
+            [("x", {"a": 1.2})],
+            series=["a", "b"],
+        )
+        rows = [l for l in text.splitlines() if l.startswith("x")]
+        assert len(rows) == 1

@@ -1,0 +1,45 @@
+"""Tests for the claim-grading harness."""
+
+import pytest
+
+from repro.harness.claims import (
+    CLAIMS,
+    Verdict,
+    evaluate_claims,
+    render_verdicts,
+)
+
+
+class TestClaimDefinitions:
+    def test_idents_unique(self):
+        idents = [c.ident for c in CLAIMS]
+        assert len(idents) == len(set(idents))
+
+    def test_statements_nonempty(self):
+        assert all(len(c.statement) > 10 for c in CLAIMS)
+
+    def test_headline_claims_present(self):
+        idents = {c.ident for c in CLAIMS}
+        assert "fig5-headline" in idents
+        assert "s5.1-overhead" in idents
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def verdicts(self):
+        # Tiny budgets: this checks plumbing, not shapes.
+        return evaluate_claims(
+            workloads=["swim"], max_instructions=8_000, warmup=8_000
+        )
+
+    def test_every_claim_graded(self, verdicts):
+        assert len(verdicts) == len(CLAIMS)
+        assert all(isinstance(v, Verdict) for v in verdicts)
+        assert all(v.detail for v in verdicts)
+
+    def test_render(self, verdicts):
+        text = render_verdicts(verdicts)
+        assert "Paper claims:" in text
+        for verdict in verdicts:
+            assert verdict.claim.ident in text
+        assert "REPRODUCED" in text or "DEVIATES" in text

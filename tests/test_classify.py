@@ -1,0 +1,252 @@
+"""Tests for delinquent-load classification and same-object grouping."""
+
+from repro.config import DLTConfig
+from repro.core.classify import (
+    LoadClass,
+    classify_loads,
+    collect_loads,
+)
+from repro.core.groups import build_groups
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trident.dlt import DelinquentLoadTable
+from repro.trident.trace import TraceInstruction
+
+
+def ti(opcode, **kwargs):
+    return TraceInstruction(inst=Instruction(opcode, **kwargs), orig_pc=0)
+
+
+def body_with_pcs(instrs):
+    """Assign sequential orig PCs."""
+    for pc, t in enumerate(instrs):
+        t.orig_pc = pc
+    return instrs
+
+
+def stride_loop_body():
+    """ldq r2, 8(r1); ldq r3, 16(r1); lda r1, 64(r1); bne."""
+    return body_with_pcs([
+        ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+        ti(Opcode.LDQ, rd=3, ra=1, disp=16),
+        ti(Opcode.LDA, rd=1, ra=1, disp=64),
+        ti(Opcode.BNE, ra=4, target=0),
+    ])
+
+
+def chase_loop_body():
+    """ldq r2, 8(r1); ldq r1, 0(r1); bne (scrambled chase)."""
+    return body_with_pcs([
+        ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+        ti(Opcode.LDQ, rd=1, ra=1, disp=0),
+        ti(Opcode.BNE, ra=4, target=0),
+    ])
+
+
+class TestCollectLoads:
+    def test_loads_and_versions(self):
+        loads = collect_loads(stride_loop_body())
+        assert len(loads) == 2
+        assert [l.disp for l in loads] == [8, 16]
+        # Same base version: r1 not redefined between them.
+        assert loads[0].base_version == loads[1].base_version
+
+    def test_version_bump_after_redefinition(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+            ti(Opcode.LDA, rd=1, ra=1, disp=64),
+            ti(Opcode.LDQ, rd=3, ra=1, disp=8),
+        ])
+        loads = collect_loads(body)
+        assert loads[0].base_version != loads[1].base_version
+
+    def test_synthetic_loads_ignored(self):
+        body = stride_loop_body()
+        body.insert(
+            0,
+            TraceInstruction(
+                inst=Instruction(Opcode.LDQ_NF, rd=28, ra=1, disp=0),
+                orig_pc=0,
+                synthetic=True,
+            ),
+        )
+        loads = collect_loads(body)
+        assert len(loads) == 2
+
+
+class TestStrideClassification:
+    def test_lda_recurrence_detected(self):
+        body = stride_loop_body()
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0, 1}, dlt=None)
+        assert all(l.load_class is LoadClass.STRIDE for l in loads)
+        assert all(l.stride == 64 for l in loads)
+
+    def test_addq_recurrence_detected(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),
+            ti(Opcode.ADDQ, rd=1, ra=1, imm=32),
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0}, dlt=None)
+        assert loads[0].stride == 32
+
+    def test_subq_recurrence_gives_negative_stride(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),
+            ti(Opcode.SUBQ, rd=1, ra=1, imm=8),
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0}, dlt=None)
+        assert loads[0].stride == -8
+
+    def test_two_updates_break_recurrence(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),
+            ti(Opcode.LDA, rd=1, ra=1, disp=8),
+            ti(Opcode.LDA, rd=1, ra=1, disp=8),
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0}, dlt=None)
+        assert loads[0].load_class is not LoadClass.STRIDE
+
+    def test_non_constant_update_breaks_recurrence(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),
+            ti(Opcode.ADDQ, rd=1, ra=1, rb=5),
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0}, dlt=None)
+        assert loads[0].load_class is not LoadClass.STRIDE
+
+    def test_dlt_stride_rescues_pointer_load(self):
+        """A chase load with a hardware-observed stride becomes STRIDE —
+        the paper's key observation (section 3.3)."""
+        body = chase_loop_body()
+        dlt = DelinquentLoadTable(DLTConfig(), 17.5)
+        addr = 0x10000
+        for _ in range(20):
+            dlt.update(1, addr, False, 0)  # pc 1 = the chase load
+            addr += 64
+        loads = collect_loads(body)
+        classify_loads(body, loads, {1}, dlt=dlt)
+        chase = [l for l in loads if l.orig_pc == 1][0]
+        assert chase.load_class is LoadClass.STRIDE
+        assert chase.stride == 64
+
+
+class TestPointerClassification:
+    def test_self_chase_is_pointer(self):
+        body = chase_loop_body()
+        loads = collect_loads(body)
+        classify_loads(body, loads, {1}, dlt=None)
+        chase = [l for l in loads if l.orig_pc == 1][0]
+        assert chase.load_class is LoadClass.POINTER
+
+    def test_dest_used_as_base_is_pointer(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),   # p = x->field
+            ti(Opcode.LDQ, rd=3, ra=2, disp=8),   # p->y
+            ti(Opcode.LDQ, rd=1, ra=6, disp=0),
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0}, dlt=None)
+        assert loads[0].load_class is LoadClass.POINTER
+
+    def test_wraparound_use_detected(self):
+        """The pointer's consumer can precede it in the loop body."""
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=3, ra=2, disp=8),   # uses r2 (loop-carried)
+            ti(Opcode.LDQ, rd=2, ra=6, disp=0),   # defines r2
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {1}, dlt=None)
+        assert loads[1].load_class is LoadClass.POINTER
+
+    def test_dest_redefined_before_use_not_pointer(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),
+            ti(Opcode.LDA, rd=2, ra=31, disp=0),  # clobber r2
+            ti(Opcode.LDQ, rd=3, ra=2, disp=8),
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0}, dlt=None)
+        assert loads[0].load_class is LoadClass.UNCLASSIFIED
+
+    def test_gather_is_unclassified(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=4, ra=1, disp=0),   # index (stride)
+            ti(Opcode.SLL, rd=5, ra=4, imm=3),
+            ti(Opcode.ADDQ, rd=5, ra=5, rb=3),
+            ti(Opcode.LDQ, rd=6, ra=5, disp=0),   # gather: x[index]
+            ti(Opcode.LDA, rd=1, ra=1, disp=8),
+            ti(Opcode.BNE, ra=7, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {3}, dlt=None)
+        gather = [l for l in loads if l.orig_pc == 3][0]
+        assert gather.load_class is LoadClass.UNCLASSIFIED
+
+
+class TestGrouping:
+    def test_same_base_same_version_grouped(self):
+        body = stride_loop_body()
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0, 1}, dlt=None)
+        groups = build_groups(loads)
+        assert len(groups) == 1
+        assert groups[0].load_pcs == (0, 1)
+        assert groups[0].stride == 64
+        assert groups[0].stride_predictable
+
+    def test_groups_need_a_delinquent_member(self):
+        body = stride_loop_body()
+        loads = collect_loads(body)
+        classify_loads(body, loads, set(), dlt=None)
+        assert build_groups(loads) == []
+
+    def test_grouping_disabled_gives_singletons(self):
+        body = stride_loop_body()
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0, 1}, dlt=None)
+        groups = build_groups(loads, grouping=False)
+        assert len(groups) == 2
+        assert all(len(g.members) == 1 for g in groups)
+
+    def test_different_versions_not_grouped(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+            ti(Opcode.LDA, rd=1, ra=1, disp=64),
+            ti(Opcode.LDQ, rd=3, ra=1, disp=8),
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0, 2}, dlt=None)
+        groups = build_groups(loads)
+        assert len(groups) == 2
+
+    def test_delinquent_only_offsets(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),
+            ti(Opcode.LDQ, rd=3, ra=1, disp=256),
+            ti(Opcode.LDA, rd=1, ra=1, disp=64),
+            ti(Opcode.BNE, ra=4, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0}, dlt=None)  # only pc 0 delinquent
+        groups = build_groups(loads)
+        assert groups[0].sorted_offsets() == [0]
+
+    def test_first_index_is_insertion_point(self):
+        body = stride_loop_body()
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0, 1}, dlt=None)
+        groups = build_groups(loads)
+        assert groups[0].first_index == 0

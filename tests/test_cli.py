@@ -1,0 +1,53 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("applu", "mcf", "wupwise"):
+            assert name in out
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "swim", "--instructions", "8000", "--warmup", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "load outcomes" in out
+        assert "swim" in out
+
+    def test_run_policy_choice(self, capsys):
+        code = main(
+            [
+                "run", "swim", "--policy", "none",
+                "--instructions", "5000", "--warmup", "0",
+            ]
+        )
+        assert code == 0
+        assert "none" in capsys.readouterr().out
+
+    def test_figure(self, capsys):
+        code = main(
+            [
+                "figure", "2", "--workloads", "swim",
+                "--instructions", "8000", "--warmup", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "swim" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonesuch"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "42"])

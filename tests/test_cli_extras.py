@@ -1,0 +1,64 @@
+"""Tests for the traces/compare CLI subcommands and JSON output."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestTracesCommand:
+    def test_dumps_linked_traces(self, capsys):
+        code = main(["traces", "swim", "--instructions", "15000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+        assert "ldq" in out
+        assert "expect T" in out
+
+    def test_shows_prefetches_and_records(self, capsys):
+        main(["traces", "swim", "--instructions", "30000"])
+        out = capsys.readouterr().out
+        assert "prefetch" in out
+        assert "record loads=" in out
+        # Synthetic instructions are marked.
+        assert "\n  + [" in out
+
+    def test_policy_without_runtime(self, capsys):
+        code = main(
+            ["traces", "swim", "--policy", "hw_only",
+             "--instructions", "3000"]
+        )
+        assert code == 0
+        assert "no Trident runtime" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_side_by_side(self, capsys):
+        code = main(
+            [
+                "compare", "swim",
+                "--instructions", "8000", "--warmup", "4000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hw_only" in out
+        assert "self_repairing" in out
+        assert "speedup:" in out
+
+
+class TestJsonOutput:
+    def test_json_is_valid_and_complete(self, capsys):
+        main(
+            ["run", "swim", "--instructions", "5000", "--warmup", "0",
+             "--json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        for key in (
+            "workload", "policy", "ipc", "breakdown",
+            "prefetches_inserted", "repairs_applied",
+        ):
+            assert key in data
+        assert data["workload"] == "swim"
+        assert sum(data["breakdown"].values()) == pytest.approx(1.0)

@@ -1,0 +1,67 @@
+"""Tests for the code cache (trace storage and patch map)."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trident.code_cache import CodeCache
+from repro.trident.trace import HotTrace, TraceInstruction, next_trace_id
+
+
+def make_trace(head_pc=10):
+    body = [
+        TraceInstruction(
+            inst=Instruction(Opcode.ADDQ, rd=1, ra=1, imm=1), orig_pc=head_pc
+        )
+    ]
+    return HotTrace(
+        trace_id=next_trace_id(),
+        head_pc=head_pc,
+        body=body,
+        fallthrough_pc=head_pc,
+    )
+
+
+class TestCodeCache:
+    def test_link_and_lookup(self):
+        cc = CodeCache()
+        trace = make_trace()
+        assert cc.link(trace) is None
+        assert cc.lookup(10) is trace
+        assert cc.lookup(11) is None
+        assert cc.trace_by_id(trace.trace_id) is trace
+        assert cc.links == 1
+
+    def test_relink_replaces_and_unregisters_old(self):
+        cc = CodeCache()
+        old = make_trace()
+        new = old.derive(list(old.body))
+        cc.link(old)
+        previous = cc.link(new)
+        assert previous is old
+        assert cc.lookup(10) is new
+        assert cc.trace_by_id(old.trace_id) is None
+        assert cc.relinks == 1
+
+    def test_unlink(self):
+        cc = CodeCache()
+        trace = make_trace()
+        cc.link(trace)
+        cc.unlink(trace)
+        assert cc.lookup(10) is None
+        assert cc.unlinks == 1
+
+    def test_unlink_of_stale_trace_is_noop_for_patch(self):
+        cc = CodeCache()
+        old = make_trace()
+        new = old.derive(list(old.body))
+        cc.link(old)
+        cc.link(new)
+        cc.unlink(old)  # stale: must not remove the new patch
+        assert cc.lookup(10) is new
+
+    def test_linked_traces_listing(self):
+        cc = CodeCache()
+        a, b = make_trace(10), make_trace(20)
+        cc.link(a)
+        cc.link(b)
+        assert set(cc.linked_traces()) == {a, b}
+        assert len(cc) == 2

@@ -1,0 +1,181 @@
+"""Tests for the SMT core's dataflow timing model."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.cpu.core import SMTCore
+from repro.isa.assembler import Assembler
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mainmem import DataMemory
+
+from conftest import simple_stride_program
+
+
+def run_program(program, config=None, max_instructions=1_000_000):
+    config = config or MachineConfig()
+    memory = DataMemory()
+    hierarchy = MemoryHierarchy(config)
+    core = SMTCore(program, memory, hierarchy, config)
+    core.run(max_instructions)
+    return core
+
+
+class TestBasicExecution:
+    def test_halt_terminates(self):
+        asm = Assembler("t")
+        asm.li("r1", 5)
+        asm.halt()
+        core = run_program(asm.build())
+        assert core.stats.committed == 2
+        assert core.ctx.halted
+
+    def test_budget_terminates(self):
+        program = simple_stride_program(iters=100_000)
+        core = run_program(program, max_instructions=500)
+        assert core.stats.committed == 500
+        assert not core.ctx.halted
+
+    def test_loop_computes_correctly(self):
+        asm = Assembler("t")
+        asm.li("r1", 10)
+        asm.label("loop")
+        asm.addq("r2", "r2", imm=3)
+        asm.subq("r1", "r1", imm=1)
+        asm.bne("r1", "loop")
+        asm.halt()
+        core = run_program(asm.build())
+        assert core.ctx.regs[2] == 30
+
+    def test_issue_width_bounds_ipc(self):
+        # Pure independent ALU code can at best hit the issue width.
+        asm = Assembler("t")
+        asm.li("r1", 10_000)
+        asm.label("loop")
+        for reg in range(2, 10):
+            asm.addq(f"r{reg}", f"r{reg}", imm=1)
+        asm.subq("r1", "r1", imm=1)
+        asm.bne("r1", "loop")
+        asm.halt()
+        core = run_program(asm.build())
+        ipc = core.stats.committed / core.cycles
+        assert ipc <= MachineConfig().issue_width + 0.01
+        assert ipc > 1.5  # and reasonably pipelined
+
+
+class TestMemoryTiming:
+    def test_misses_slow_execution(self):
+        fast = run_program(simple_stride_program(iters=5_000, stride=0))
+        slow = run_program(simple_stride_program(iters=5_000, stride=64))
+        # stride 0 = same line every time (hits); stride 64 = a memory
+        # miss per iteration.
+        assert fast.cycles < slow.cycles / 2
+
+    def test_dependent_chain_serialises_misses(self):
+        """A pointer chase cannot overlap its misses; a strided scan can."""
+        from repro.memory.mainmem import HeapAllocator
+        from repro.workloads.data import build_linked_list
+        import random
+
+        config = MachineConfig()
+        # Chase: 2000 nodes, each on its own line.
+        memory = DataMemory()
+        alloc = HeapAllocator(memory)
+        head, _ = build_linked_list(
+            alloc, node_words=8, count=2_000, rng=random.Random(1),
+            scramble=True,
+        )
+        asm = Assembler("chase")
+        asm.li("r1", head)
+        asm.li("r2", 2_000)
+        asm.label("loop")
+        asm.ldq("r1", "r1", 0)
+        asm.subq("r2", "r2", imm=1)
+        asm.bne("r2", "loop")
+        asm.halt()
+        chase = SMTCore(
+            asm.build(), memory, MemoryHierarchy(config), config
+        )
+        chase.run(10_000)
+
+        scan = run_program(
+            simple_stride_program(iters=2_000, stride=64),
+            max_instructions=12_000,
+        )
+        chase_cpi = chase.cycles / chase.stats.committed
+        scan_cpi = scan.cycles / scan.stats.committed
+        # The serialized chase pays full latency per node; the scan
+        # overlaps fills in the ROB window.
+        assert chase_cpi > 3 * scan_cpi
+
+    def test_rob_bounds_runahead(self):
+        """With a giant ROB the scan overlaps more misses than with a
+        small one."""
+        import dataclasses
+
+        small = dataclasses.replace(MachineConfig(), rob_entries=32)
+        big = dataclasses.replace(MachineConfig(), rob_entries=512)
+        program = simple_stride_program(iters=4_000, stride=64)
+        core_small = run_program(program, config=small)
+        core_big = run_program(program, config=big)
+        assert core_big.cycles < core_small.cycles
+
+
+class TestBranchPrediction:
+    def test_predictable_loop_few_mispredicts(self):
+        core = run_program(simple_stride_program(iters=5_000, stride=0))
+        rate = (
+            core.stats.branch_mispredicts / core.stats.conditional_branches
+        )
+        assert rate < 0.01
+
+    def test_alternating_branch_mispredicts(self):
+        asm = Assembler("t")
+        asm.li("r1", 4_000)
+        asm.label("loop")
+        asm.and_("r2", "r1", imm=1)
+        asm.beq("r2", "skip")
+        asm.addq("r3", "r3", imm=1)
+        asm.label("skip")
+        asm.subq("r1", "r1", imm=1)
+        asm.bne("r1", "loop")
+        asm.halt()
+        core = run_program(asm.build())
+        rate = (
+            core.stats.branch_mispredicts / core.stats.conditional_branches
+        )
+        assert rate > 0.2
+
+    def test_mispredicts_cost_cycles(self):
+        def loop(body_branch_alternates):
+            asm = Assembler("t")
+            asm.li("r1", 4_000)
+            asm.label("loop")
+            if body_branch_alternates:
+                asm.and_("r2", "r1", imm=1)
+            else:
+                asm.li("r2", 0)
+            asm.beq("r2", "skip")
+            asm.addq("r3", "r3", imm=1)
+            asm.label("skip")
+            asm.subq("r1", "r1", imm=1)
+            asm.bne("r1", "loop")
+            asm.halt()
+            return asm.build()
+
+        good = run_program(loop(False))
+        bad = run_program(loop(True))
+        assert bad.cycles > good.cycles * 1.3
+
+
+class TestSnapshots:
+    def test_snapshot_interval(self):
+        program = simple_stride_program(iters=50_000)
+        config = MachineConfig()
+        memory = DataMemory()
+        core = SMTCore(program, memory, MemoryHierarchy(config), config)
+        core.run(1_000)
+        c1, t1 = core.snapshot()
+        core.run(2_000)
+        c2, t2 = core.snapshot()
+        assert c2 - c1 == 1_000
+        assert t2 > t1

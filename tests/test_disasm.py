@@ -1,0 +1,84 @@
+"""Tests for the disassembler."""
+
+from repro.isa.assembler import Assembler
+from repro.isa.disasm import (
+    disassemble,
+    format_instruction,
+    format_instructions,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class TestFormatInstruction:
+    def test_memory_forms(self):
+        assert (
+            format_instruction(Instruction(Opcode.LDQ, rd=2, ra=1, disp=8))
+            == "ldq r2, 8(r1)"
+        )
+        assert (
+            format_instruction(Instruction(Opcode.STQ, rd=2, ra=1, disp=-8))
+            == "stq r2, -8(r1)"
+        )
+        assert (
+            format_instruction(Instruction(Opcode.PREFETCH, ra=4, disp=128))
+            == "prefetch 128(r4)"
+        )
+        assert (
+            format_instruction(Instruction(Opcode.LDA, rd=3, ra=3, disp=64))
+            == "lda r3, 64(r3)"
+        )
+
+    def test_alu_forms(self):
+        assert (
+            format_instruction(Instruction(Opcode.ADDQ, rd=1, ra=2, rb=3))
+            == "addq r1, r2, r3"
+        )
+        assert (
+            format_instruction(Instruction(Opcode.SUBQ, rd=1, ra=2, imm=5))
+            == "subq r1, r2, #5"
+        )
+
+    def test_branch_forms(self):
+        assert (
+            format_instruction(Instruction(Opcode.BNE, ra=1, target=10))
+            == "bne r1, 10"
+        )
+        assert (
+            format_instruction(Instruction(Opcode.BNE, ra=1, label="loop"))
+            == "bne r1, loop"
+        )
+        assert format_instruction(Instruction(Opcode.BR, target=3)) == "br 3"
+        assert (
+            format_instruction(Instruction(Opcode.JMP, ra=7)) == "jmp (r7)"
+        )
+
+    def test_misc_forms(self):
+        assert (
+            format_instruction(Instruction(Opcode.MOVE, rd=1, ra=2))
+            == "move r1, r2"
+        )
+        assert format_instruction(Instruction(Opcode.NOP)) == "nop"
+        assert format_instruction(Instruction(Opcode.HALT)) == "halt"
+
+
+class TestDisassemble:
+    def test_labels_and_range(self):
+        asm = Assembler("t")
+        asm.li("r1", 5)
+        asm.label("loop")
+        asm.subq("r1", "r1", imm=1)
+        asm.bne("r1", "loop")
+        asm.halt()
+        program = asm.build()
+        text = disassemble(program)
+        assert "loop:" in text
+        assert "subq r1, r1, #1" in text
+        lines = disassemble(program, start=1, end=2).splitlines()
+        assert any("subq" in line for line in lines)
+
+    def test_format_instructions_sequence(self):
+        text = format_instructions(
+            [Instruction(Opcode.NOP), Instruction(Opcode.HALT)]
+        )
+        assert "nop" in text and "halt" in text

@@ -1,0 +1,181 @@
+"""Tests for the Delinquent Load Table (paper section 3.3)."""
+
+import pytest
+
+from repro.config import DLTConfig
+from repro.trident.dlt import DelinquentLoadTable
+
+#: Paper threshold: avg miss latency must exceed half the L2-miss latency.
+LAT_THRESHOLD = 17.5
+
+
+def make_dlt(**kwargs):
+    return DelinquentLoadTable(DLTConfig(**kwargs), LAT_THRESHOLD)
+
+
+def run_window(dlt, pc, misses, window=256, miss_latency=350, stride=8):
+    """Drive one monitoring window; returns True if any update fired."""
+    fired = False
+    addr = 0x10000
+    for i in range(window):
+        is_miss = i < misses
+        fired |= dlt.update(pc, addr, is_miss, miss_latency if is_miss else 0)
+        addr += stride
+    return fired
+
+
+class TestDelinquencyWindow:
+    def test_fires_at_window_end_when_over_threshold(self):
+        dlt = make_dlt()
+        assert run_window(dlt, pc=10, misses=8)
+        assert dlt.events_fired == 1
+
+    def test_does_not_fire_below_miss_threshold(self):
+        dlt = make_dlt()
+        assert not run_window(dlt, pc=10, misses=7)
+        assert dlt.events_fired == 0
+
+    def test_does_not_fire_below_latency_threshold(self):
+        dlt = make_dlt()
+        assert not run_window(dlt, pc=10, misses=20, miss_latency=11)
+
+    def test_counters_reset_after_clean_window(self):
+        dlt = make_dlt()
+        run_window(dlt, pc=10, misses=0)
+        entry = dlt.lookup(10)
+        assert entry.access_counter == 0
+        assert entry.miss_counter == 0
+
+    def test_counters_frozen_while_pending(self):
+        dlt = make_dlt()
+        run_window(dlt, pc=10, misses=8)
+        entry = dlt.lookup(10)
+        frozen = entry.access_counter
+        # Updates while pending re-offer the event, don't count.
+        assert dlt.update(10, 0x90000, True, 350)
+        assert entry.access_counter == frozen
+
+    def test_clear_window_restarts_monitoring(self):
+        dlt = make_dlt()
+        run_window(dlt, pc=10, misses=8)
+        dlt.clear_window(10)
+        entry = dlt.lookup(10)
+        assert entry.access_counter == 0
+        assert not entry.event_pending
+        # A second full delinquent window fires again.
+        assert run_window(dlt, pc=10, misses=8)
+        assert dlt.events_fired == 2
+
+    def test_mature_load_never_fires(self):
+        dlt = make_dlt()
+        run_window(dlt, pc=10, misses=8)
+        dlt.set_mature(10)
+        assert not run_window(dlt, pc=10, misses=256)
+        assert dlt.events_fired == 1
+
+    def test_mature_cleared_on_eviction(self):
+        dlt = make_dlt(entries=2, associativity=2)  # one set
+        dlt.update(0, 0x10000, False, 0)
+        dlt.set_mature(0)
+        # Two more PCs in the same (only) set evict pc 0.
+        dlt.update(1, 0x20000, False, 0)
+        dlt.update(2, 0x30000, False, 0)
+        assert dlt.lookup(0) is None
+        dlt.update(0, 0x10000, False, 0)
+        assert not dlt.lookup(0).mature
+
+
+class TestStrideTracking:
+    def test_confidence_saturates_on_constant_stride(self):
+        dlt = make_dlt()
+        addr = 0x10000
+        for _ in range(20):
+            dlt.update(7, addr, False, 0)
+            addr += 64
+        assert dlt.is_stride_predictable(7)
+        assert dlt.predicted_stride(7) == 64
+
+    def test_needs_sixteen_matches(self):
+        dlt = make_dlt()
+        addr = 0x10000
+        for _ in range(10):
+            dlt.update(7, addr, False, 0)
+            addr += 64
+        assert not dlt.is_stride_predictable(7)
+
+    def test_asymmetric_penalty(self):
+        dlt = make_dlt()
+        addr = 0x10000
+        for _ in range(20):
+            dlt.update(7, addr, False, 0)
+            addr += 64
+        # One irregular step drops confidence by 7: no longer predictable.
+        dlt.update(7, 0x999000, False, 0)
+        assert not dlt.is_stride_predictable(7)
+        entry = dlt.lookup(7)
+        assert entry.confidence == 15 - 7
+
+    def test_scrambled_addresses_never_predictable(self):
+        import random
+
+        rng = random.Random(3)
+        dlt = make_dlt()
+        for _ in range(300):
+            dlt.update(7, rng.randrange(1 << 24) * 8, False, 0)
+        assert not dlt.is_stride_predictable(7)
+
+    def test_zero_stride_not_predicted(self):
+        dlt = make_dlt()
+        for _ in range(20):
+            dlt.update(7, 0x10000, False, 0)
+        assert dlt.predicted_stride(7) is None
+
+
+class TestPartialWindow:
+    def test_partial_window_delinquency(self):
+        dlt = make_dlt()
+        addr = 0x10000
+        for i in range(100):
+            dlt.update(9, addr, i < 10, 350 if i < 10 else 0)
+            addr += 8
+        # 10 misses in 100 accesses (10%) at 350 cycles: pro-rated over
+        # the window this is well above 8/256.
+        assert dlt.is_delinquent_now(9)
+
+    def test_partial_window_not_delinquent_with_low_rate(self):
+        dlt = make_dlt()
+        addr = 0x10000
+        for i in range(128):
+            dlt.update(9, addr, i < 2, 350 if i < 2 else 0)
+            addr += 8
+        # 2 misses in 128 accesses: pro-rated threshold is 4.
+        assert not dlt.is_delinquent_now(9)
+
+    def test_unknown_pc_not_delinquent(self):
+        dlt = make_dlt()
+        assert not dlt.is_delinquent_now(123)
+
+
+class TestAssociativity:
+    def test_lru_within_set(self):
+        dlt = make_dlt(entries=2, associativity=2)
+        dlt.update(0, 0x10000, False, 0)
+        dlt.update(1, 0x20000, False, 0)
+        dlt.update(0, 0x30000, False, 0)  # touch pc 0
+        dlt.update(2, 0x40000, False, 0)  # evicts pc 1 (LRU)
+        assert dlt.lookup(0) is not None
+        assert dlt.lookup(1) is None
+        assert dlt.evictions == 1
+
+    def test_entries_listing(self):
+        dlt = make_dlt()
+        dlt.update(1, 0x10000, False, 0)
+        dlt.update(2, 0x20000, False, 0)
+        assert {e.tag for e in dlt.entries()} == {1, 2}
+
+    def test_average_access_latency(self):
+        dlt = make_dlt()
+        dlt.update(5, 0x10000, True, 100)
+        dlt.update(5, 0x10008, False, 0)
+        entry = dlt.lookup(5)
+        assert entry.average_access_latency(3) == 3 + 100 / 2

@@ -1,0 +1,35 @@
+"""The example scripts must at least compile and expose a main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+class TestExamples:
+    def test_compiles(self, path):
+        source = path.read_text()
+        compile(source, str(path), "exec")
+
+    def test_has_main_guard(self, path):
+        tree = ast.parse(path.read_text())
+        functions = {
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions
+        assert '__name__ == "__main__"' in path.read_text()
+
+    def test_has_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree)
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

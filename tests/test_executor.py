@@ -1,0 +1,167 @@
+"""Tests for the functional executor: every opcode's semantics."""
+
+import pytest
+
+from repro.cpu.context import ThreadContext
+from repro.cpu.executor import Executor
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.memory.mainmem import DataMemory
+
+
+@pytest.fixture
+def ctx():
+    return ThreadContext()
+
+
+@pytest.fixture
+def executor():
+    return Executor(DataMemory())
+
+
+def run(executor, ctx, inst):
+    return executor.execute(inst, ctx)
+
+
+class TestMemoryOps:
+    def test_load_reads_memory(self, executor, ctx):
+        executor.memory.write(0x1000, 42)
+        ctx.regs[1] = 0x1000
+        res = run(executor, ctx, Instruction(Opcode.LDQ, rd=2, ra=1, disp=0))
+        assert ctx.regs[2] == 42
+        assert res.ea == 0x1000
+
+    def test_load_with_displacement(self, executor, ctx):
+        executor.memory.write(0x1010, 7)
+        ctx.regs[1] = 0x1000
+        run(executor, ctx, Instruction(Opcode.LDQ, rd=2, ra=1, disp=16))
+        assert ctx.regs[2] == 7
+
+    def test_unmapped_load_reads_zero_and_counts(self, executor, ctx):
+        ctx.regs[1] = 0x9999000
+        run(executor, ctx, Instruction(Opcode.LDQ, rd=2, ra=1, disp=0))
+        assert ctx.regs[2] == 0
+        assert executor.memory.unmapped_reads == 1
+
+    def test_nonfaulting_load_does_not_count_unmapped(self, executor, ctx):
+        ctx.regs[1] = 0x9999000
+        run(executor, ctx, Instruction(Opcode.LDQ_NF, rd=2, ra=1, disp=0))
+        assert ctx.regs[2] == 0
+        assert executor.memory.unmapped_reads == 0
+
+    def test_store_writes_memory(self, executor, ctx):
+        ctx.regs[1] = 0x2000
+        ctx.regs[3] = 99
+        res = run(executor, ctx, Instruction(Opcode.STQ, rd=3, ra=1, disp=8))
+        assert executor.memory.read(0x2008) == 99
+        assert res.ea == 0x2008
+
+    def test_prefetch_reports_ea_only(self, executor, ctx):
+        ctx.regs[1] = 0x3000
+        res = run(executor, ctx, Instruction(Opcode.PREFETCH, ra=1, disp=64))
+        assert res.ea == 0x3040
+        assert res.taken is None
+
+    def test_load_to_zero_register_discarded(self, executor, ctx):
+        executor.memory.write(0x1000, 5)
+        ctx.regs[1] = 0x1000
+        run(executor, ctx, Instruction(Opcode.LDQ, rd=31, ra=1, disp=0))
+        assert ctx.regs[31] == 0
+
+
+class TestALU:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (Opcode.ADDQ, 3, 4, 7),
+            (Opcode.SUBQ, 10, 4, 6),
+            (Opcode.MULQ, 3, 5, 15),
+            (Opcode.AND, 0b1100, 0b1010, 0b1000),
+            (Opcode.OR, 0b1100, 0b1010, 0b1110),
+            (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+            (Opcode.SLL, 1, 4, 16),
+            (Opcode.SRL, 16, 2, 4),
+            (Opcode.CMPEQ, 5, 5, 1),
+            (Opcode.CMPEQ, 5, 6, 0),
+            (Opcode.CMPLT, 4, 5, 1),
+            (Opcode.CMPLT, 5, 5, 0),
+            (Opcode.CMPLE, 5, 5, 1),
+            (Opcode.CMPLE, 6, 5, 0),
+        ],
+    )
+    def test_register_form(self, executor, ctx, op, a, b, expected):
+        ctx.regs[1], ctx.regs[2] = a, b
+        run(executor, ctx, Instruction(op, rd=3, ra=1, rb=2))
+        assert ctx.regs[3] == expected
+
+    def test_immediate_form(self, executor, ctx):
+        ctx.regs[1] = 10
+        run(executor, ctx, Instruction(Opcode.ADDQ, rd=2, ra=1, imm=5))
+        assert ctx.regs[2] == 15
+
+    def test_fp_ops(self, executor, ctx):
+        ctx.regs[1], ctx.regs[2] = 1.5, 2.0
+        run(executor, ctx, Instruction(Opcode.ADDF, rd=3, ra=1, rb=2))
+        assert ctx.regs[3] == 3.5
+        run(executor, ctx, Instruction(Opcode.MULF, rd=3, ra=1, rb=2))
+        assert ctx.regs[3] == 3.0
+        run(executor, ctx, Instruction(Opcode.SUBF, rd=3, ra=2, rb=1))
+        assert ctx.regs[3] == 0.5
+        run(executor, ctx, Instruction(Opcode.DIVF, rd=3, ra=1, rb=2))
+        assert ctx.regs[3] == 0.75
+
+    def test_divide_by_zero_yields_zero(self, executor, ctx):
+        ctx.regs[1], ctx.regs[2] = 1.0, 0.0
+        run(executor, ctx, Instruction(Opcode.DIVF, rd=3, ra=1, rb=2))
+        assert ctx.regs[3] == 0.0
+
+    def test_lda_is_address_arithmetic(self, executor, ctx):
+        ctx.regs[1] = 0x100
+        run(executor, ctx, Instruction(Opcode.LDA, rd=2, ra=1, disp=-8))
+        assert ctx.regs[2] == 0xF8
+
+    def test_writes_to_zero_register_discarded(self, executor, ctx):
+        ctx.regs[1] = 7
+        run(executor, ctx, Instruction(Opcode.ADDQ, rd=31, ra=1, imm=1))
+        assert ctx.regs[31] == 0
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize(
+        "op,value,taken",
+        [
+            (Opcode.BEQ, 0, True),
+            (Opcode.BEQ, 1, False),
+            (Opcode.BNE, 0, False),
+            (Opcode.BNE, 1, True),
+            (Opcode.BLT, -1, True),
+            (Opcode.BLT, 0, False),
+            (Opcode.BGE, 0, True),
+            (Opcode.BGE, -1, False),
+        ],
+    )
+    def test_conditional_directions(self, executor, ctx, op, value, taken):
+        ctx.regs[1] = value
+        res = run(executor, ctx, Instruction(op, ra=1, target=10))
+        assert res.taken is taken
+
+    def test_br_always_taken(self, executor, ctx):
+        res = run(executor, ctx, Instruction(Opcode.BR, target=5))
+        assert res.taken is True
+
+    def test_jmp_reports_target(self, executor, ctx):
+        ctx.regs[1] = 42
+        res = run(executor, ctx, Instruction(Opcode.JMP, ra=1))
+        assert res.jump_target == 42
+
+    def test_halt_sets_flag(self, executor, ctx):
+        res = run(executor, ctx, Instruction(Opcode.HALT))
+        assert res.halted
+        assert ctx.halted
+
+    def test_move_and_nop(self, executor, ctx):
+        ctx.regs[1] = 9
+        run(executor, ctx, Instruction(Opcode.MOVE, rd=2, ra=1))
+        assert ctx.regs[2] == 9
+        res = run(executor, ctx, Instruction(Opcode.NOP))
+        assert res.ea is None and res.taken is None and not res.halted

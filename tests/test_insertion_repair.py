@@ -1,0 +1,264 @@
+"""Tests for prefetch insertion (section 3.4.2-3) and repair (3.5)."""
+
+import pytest
+
+from repro.core.classify import classify_loads, collect_loads
+from repro.core.distance import (
+    DISTANCE_CAP,
+    estimate_distance,
+    max_distance,
+)
+from repro.core.groups import build_groups
+from repro.core.insertion import (
+    insert_prefetches,
+    make_stride_record,
+    plan_group_offsets,
+)
+from repro.core.repair import (
+    LATENCY_INCREASE_TOLERANCE,
+    PrefetchRecord,
+    repair,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import OPTIMIZER_SCRATCH_REGISTERS
+from repro.trident.trace import TraceInstruction
+
+
+def ti(opcode, **kwargs):
+    t = TraceInstruction(inst=Instruction(opcode, **kwargs), orig_pc=0)
+    return t
+
+
+def body_with_pcs(instrs):
+    for pc, t in enumerate(instrs):
+        t.orig_pc = pc
+    return instrs
+
+
+class TestPlanOffsets:
+    def test_single_offset(self):
+        assert plan_group_offsets([8], 64) == [8]
+
+    def test_within_line_skipped_with_extra_block(self):
+        # Offsets 0, 8, 16 share a line: one prefetch plus the extra
+        # block for the skipped loads (paper's straddle rule).
+        assert plan_group_offsets([0, 8, 16], 64) == [0, 64]
+
+    def test_far_offsets_each_prefetched(self):
+        assert plan_group_offsets([0, 128, 4096], 64) == [0, 128, 4096]
+
+    def test_mixed_skip_then_far(self):
+        # 0 and 8 share; the skipped 8 triggers the extra block before
+        # the far offset's own prefetch.
+        assert plan_group_offsets([0, 8, 256], 64) == [0, 64, 256]
+
+    def test_exactly_line_apart_not_skipped(self):
+        assert plan_group_offsets([0, 64], 64) == [0, 64]
+
+    def test_empty(self):
+        assert plan_group_offsets([], 64) == []
+
+
+class TestMakeStrideRecord:
+    def make_group(self, delinquent_pcs, disps):
+        body = body_with_pcs(
+            [ti(Opcode.LDQ, rd=2 + i, ra=1, disp=d) for i, d in enumerate(disps)]
+            + [ti(Opcode.LDA, rd=1, ra=1, disp=64),
+               ti(Opcode.BNE, ra=7, target=0)]
+        )
+        loads = collect_loads(body)
+        classify_loads(body, loads, set(delinquent_pcs), dlt=None)
+        return build_groups(loads)[0]
+
+    def test_record_fields(self):
+        group = self.make_group({0, 1}, [0, 8])
+        record = make_stride_record(group, distance=1, line_size=64)
+        assert record.stride == 64
+        assert record.base_offsets == (0, 64)
+        assert record.kind == "stride"
+
+    def test_uncovered_members_not_bound(self):
+        # Only pc 0 delinquent; pc 1 at disp 256 is not covered by the
+        # plan, so it must not be bound to the record.
+        group = self.make_group({0}, [0, 256])
+        record = make_stride_record(group, distance=1, line_size=64)
+        assert record.base_offsets == (0,)
+        assert record.load_pcs == (0,)
+
+
+class TestInsertPrefetches:
+    def stride_body(self):
+        return body_with_pcs([
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),
+            ti(Opcode.LDQ, rd=3, ra=1, disp=8),
+            ti(Opcode.LDA, rd=1, ra=1, disp=64),
+            ti(Opcode.BNE, ra=7, target=0),
+        ])
+
+    def test_stride_prefetch_inserted_before_first_member(self):
+        body = self.stride_body()
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0, 1}, dlt=None)
+        group = build_groups(loads)[0]
+        record = make_stride_record(group, distance=2, line_size=64)
+        new_body, records = insert_prefetches(body, [(group, record)], [])
+        assert new_body[0].inst.opcode is Opcode.PREFETCH
+        assert new_body[0].synthetic
+        # offset 0 + stride 64 * distance 2
+        assert new_body[0].inst.disp == 128
+        assert records[0] is record and records[1] is record
+
+    def test_pointer_prefetch_inserted_after_load(self):
+        body = body_with_pcs([
+            ti(Opcode.LDQ, rd=1, ra=1, disp=0),   # chase
+            ti(Opcode.ADDQ, rd=5, ra=5, imm=1),
+            ti(Opcode.BNE, ra=7, target=0),
+        ])
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0}, dlt=None)
+        new_body, records = insert_prefetches(body, [], [loads[0]])
+        opcodes = [t.inst.opcode for t in new_body]
+        i = opcodes.index(Opcode.LDQ_NF)
+        assert opcodes[i + 1] is Opcode.PREFETCH
+        assert new_body[i].inst.rd in OPTIMIZER_SCRATCH_REGISTERS
+        assert new_body[i].synthetic
+        assert records[0].kind == "pointer"
+
+    def test_original_instructions_preserved_in_order(self):
+        body = self.stride_body()
+        loads = collect_loads(body)
+        classify_loads(body, loads, {0, 1}, dlt=None)
+        group = build_groups(loads)[0]
+        record = make_stride_record(group, 1, 64)
+        new_body, _ = insert_prefetches(body, [(group, record)], [])
+        originals = [t for t in new_body if not t.synthetic]
+        assert [t.orig_pc for t in originals] == [0, 1, 2, 3]
+
+
+class TestDistance:
+    def test_estimate_rounds(self):
+        assert estimate_distance(350, 100) == 4
+        assert estimate_distance(350, 350) == 1
+        assert estimate_distance(350, 10) == 35
+
+    def test_estimate_clamps(self):
+        assert estimate_distance(100000, 1) == DISTANCE_CAP
+        assert estimate_distance(1, 1000) == 1
+
+    def test_estimate_without_timing_is_one(self):
+        assert estimate_distance(350, None) == 1
+        assert estimate_distance(350, 0) == 1
+
+    def test_max_distance(self):
+        assert max_distance(350, 35.0) == 10
+        assert max_distance(350, None) == 2
+        assert max_distance(350, 1.0) == DISTANCE_CAP
+
+
+class TestRepair:
+    def make_record(self, distance=1, max_d=20):
+        inst = Instruction(Opcode.PREFETCH, ra=1, disp=64)
+        record = PrefetchRecord(
+            group_key=(0,),
+            load_pcs=(0,),
+            base_reg=1,
+            stride=64,
+            distance=distance,
+            base_offsets=(0,),
+            instructions=[inst],
+            max_distance=max_d,
+            repairs_left=2 * max_d,
+        )
+        return record, inst
+
+    def test_first_repair_increments(self):
+        record, inst = self.make_record()
+        repair(record, 300.0)
+        assert record.distance == 2
+        assert inst.disp == 128
+
+    def test_improving_latency_keeps_climbing(self):
+        record, inst = self.make_record()
+        latency = 300.0
+        for _ in range(5):
+            repair(record, latency)
+            latency -= 40
+        assert record.distance == 6
+        assert inst.disp == 64 * 6
+
+    def test_two_consecutive_increases_step_back(self):
+        record, _ = self.make_record()
+        repair(record, 100.0)   # d=2
+        repair(record, 90.0)    # improved: d=3
+        repair(record, 120.0)   # one bad sample: still climbs (d=4)
+        assert record.distance == 4
+        repair(record, 140.0)   # second consecutive increase: d=3
+        assert record.distance == 3
+
+    def test_single_noise_spike_does_not_unwind(self):
+        record, _ = self.make_record()
+        repair(record, 100.0)
+        repair(record, 130.0)   # spike
+        assert record.distance == 3  # still climbed
+
+    def test_budget_exhaustion_matures(self):
+        record, _ = self.make_record(max_d=2)
+        record.repairs_left = 2
+        repair(record, 100.0)
+        assert not record.mature
+        matured = repair(record, 95.0)
+        assert matured and record.mature
+
+    def test_pin_at_cap_matures(self):
+        record, _ = self.make_record(distance=20, max_d=20)
+        for _ in range(3):
+            repair(record, 100.0)
+        assert record.mature
+        assert record.distance == 20
+
+    def test_plateau_settles_at_best_observed_distance(self):
+        # Latency is 50 at distance 5 and a flat 90 everywhere above:
+        # the climb must eventually settle back to 5 and mature.
+        record, inst = self.make_record(distance=5, max_d=30)
+        for _ in range(25):
+            if record.mature:
+                break
+            latency = 50.0 if record.distance == 5 else 90.0
+            repair(record, latency)
+        assert record.mature
+        assert record.distance == 5
+        assert inst.disp == 64 * 5
+
+    def test_knee_oscillation_settles(self):
+        # Below distance 8 latency improves as the distance grows; above
+        # it rises sharply (displacement).  The search must settle at 8.
+        record, inst = self.make_record(distance=1, max_d=30)
+        for _ in range(40):
+            if record.mature:
+                break
+            d = record.distance
+            latency = (300.0 - 30.0 * d) if d <= 8 else 120.0 + 40 * d
+            repair(record, latency)
+        assert record.mature
+        assert 7 <= record.distance <= 9
+
+    def test_mature_record_is_inert(self):
+        record, inst = self.make_record()
+        record.mature = True
+        assert repair(record, 10.0)
+        assert record.distance == 1
+
+    def test_budget_never_shrinks(self):
+        record, _ = self.make_record(max_d=10)
+        record.repairs_left = 15
+        record.set_budget_from_max(5)
+        assert record.repairs_left == 15
+        record.set_budget_from_max(20)
+        assert record.repairs_left == 40
+        assert record.max_distance == 20
+
+    def test_history_records_measured_distance(self):
+        record, _ = self.make_record(distance=3)
+        repair(record, 200.0)
+        assert record.history == [(3, 200.0)]

@@ -1,0 +1,183 @@
+"""Tests for the assembler DSL, programs, and instruction helpers."""
+
+import pytest
+
+from repro.isa.assembler import Assembler, _reg
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import (
+    OPTIMIZER_SCRATCH_REGISTERS,
+    check_program_register,
+    parse_register,
+    register_name,
+)
+
+
+class TestRegisterParsing:
+    def test_parse_simple(self):
+        assert parse_register("r0") == 0
+        assert parse_register("r31") == 31
+
+    def test_parse_uppercase(self):
+        assert parse_register("R7") == 7
+
+    def test_parse_whitespace(self):
+        assert parse_register("  r12 ") == 12
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_register("x1")
+        with pytest.raises(ValueError):
+            parse_register("r")
+        with pytest.raises(ValueError):
+            parse_register("r32")
+
+    def test_register_name_round_trip(self):
+        for i in range(32):
+            assert parse_register(register_name(i)) == i
+
+    def test_register_name_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(32)
+
+    def test_reserved_registers_rejected_for_programs(self):
+        for reg in OPTIMIZER_SCRATCH_REGISTERS:
+            with pytest.raises(ValueError):
+                check_program_register(reg)
+
+    def test_zero_register_allowed(self):
+        assert check_program_register(31) == 31
+
+    def test_reg_operand_accepts_int(self):
+        assert _reg(5) == 5
+        with pytest.raises(ValueError):
+            _reg(99)
+        with pytest.raises(TypeError):
+            _reg(3.5)
+
+
+class TestAssembler:
+    def test_builds_simple_program(self):
+        asm = Assembler("t")
+        asm.li("r1", 100)
+        asm.halt()
+        program = asm.build()
+        assert len(program) == 2
+        assert program.instructions[0].opcode is Opcode.LDA
+        assert program.instructions[0].disp == 100
+
+    def test_forward_label_resolution(self):
+        asm = Assembler("t")
+        asm.beq("r1", "done")
+        asm.addq("r2", "r2", imm=1)
+        asm.label("done")
+        asm.halt()
+        program = asm.build()
+        assert program.instructions[0].target == 2
+
+    def test_backward_label_resolution(self):
+        asm = Assembler("t")
+        asm.label("loop")
+        asm.subq("r1", "r1", imm=1)
+        asm.bne("r1", "loop")
+        asm.halt()
+        program = asm.build()
+        assert program.instructions[1].target == 0
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler("t")
+        asm.br("nowhere")
+        asm.halt()
+        with pytest.raises(ValueError, match="undefined label"):
+            asm.build()
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler("t")
+        asm.label("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            asm.label("a")
+
+    def test_alu_requires_exactly_one_rhs(self):
+        asm = Assembler("t")
+        with pytest.raises(ValueError):
+            asm.addq("r1", "r2")
+        with pytest.raises(ValueError):
+            asm.addq("r1", "r2", rb="r3", imm=4)
+
+    def test_reserved_register_write_rejected(self):
+        asm = Assembler("t")
+        with pytest.raises(ValueError, match="reserved"):
+            asm.ldq("r28", "r1", 0)
+
+    def test_reserved_register_allowed_for_optimizer(self):
+        asm = Assembler("t", allow_reserved=True)
+        asm.ldq_nf("r28", "r1", 0)
+        assert asm.here == 1
+
+    def test_missing_halt_rejected(self):
+        asm = Assembler("t")
+        asm.nop()
+        with pytest.raises(ValueError, match="no HALT"):
+            asm.build()
+
+    def test_here_tracks_pc(self):
+        asm = Assembler("t")
+        assert asm.here == 0
+        asm.nop()
+        assert asm.here == 1
+
+
+class TestProgram:
+    def test_fetch_out_of_range(self):
+        program = Program(name="p")
+        with pytest.raises(IndexError):
+            program.fetch(0)
+
+    def test_label_lookup(self):
+        asm = Assembler("t")
+        asm.label("start")
+        asm.halt()
+        program = asm.build()
+        assert program.label_pc("start") == 0
+        assert program.pc_label(0) == "start"
+        assert program.pc_label(1) is None
+
+    def test_validate_rejects_out_of_range_target(self):
+        inst = Instruction(Opcode.BR, target=99)
+        program = Program(
+            instructions=[inst, Instruction(Opcode.HALT)], name="p"
+        )
+        with pytest.raises(ValueError, match="out-of-range"):
+            program.validate()
+
+
+class TestInstruction:
+    def test_source_registers_for_store(self):
+        inst = Instruction(Opcode.STQ, rd=3, ra=4, disp=8)
+        assert set(inst.source_registers()) == {3, 4}
+
+    def test_destination_register(self):
+        load = Instruction(Opcode.LDQ, rd=5, ra=1)
+        assert load.destination_register() == 5
+        store = Instruction(Opcode.STQ, rd=5, ra=1)
+        assert store.destination_register() is None
+        branch = Instruction(Opcode.BNE, ra=2, target=0)
+        assert branch.destination_register() is None
+
+    def test_copy_is_independent(self):
+        inst = Instruction(Opcode.PREFETCH, ra=1, disp=64, meta={"a": 1})
+        dup = inst.copy()
+        dup.disp = 128
+        dup.meta["a"] = 2
+        assert inst.disp == 64
+        assert inst.meta["a"] == 1
+
+    def test_classification_properties(self):
+        assert Instruction(Opcode.LDQ, rd=1, ra=2).is_load
+        assert Instruction(Opcode.LDQ_NF, rd=1, ra=2).is_load
+        assert Instruction(Opcode.STQ, rd=1, ra=2).is_store
+        assert Instruction(Opcode.PREFETCH, ra=2).is_prefetch
+        assert Instruction(Opcode.BNE, ra=1).is_conditional_branch
+        assert Instruction(Opcode.BR).is_branch
+        assert not Instruction(Opcode.BR).is_conditional_branch

@@ -1,0 +1,147 @@
+"""Miscellaneous unit tests: small helpers across packages."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    Opcode,
+    SIMPLE_RECURRENCE_OPCODES,
+    is_branch,
+    is_conditional_branch,
+    is_load,
+    is_store,
+    writes_register,
+)
+from repro.isa.registers import fresh_register_pool
+from repro.memory.mainmem import DataMemory
+
+
+class TestOpcodeSets:
+    def test_load_store_disjoint(self):
+        for op in Opcode:
+            assert not (is_load(op) and is_store(op))
+
+    def test_branches(self):
+        assert is_branch(Opcode.BR)
+        assert is_branch(Opcode.JMP)
+        assert is_conditional_branch(Opcode.BEQ)
+        assert not is_conditional_branch(Opcode.JMP)
+
+    def test_simple_recurrence_set(self):
+        assert Opcode.LDA in SIMPLE_RECURRENCE_OPCODES
+        assert Opcode.ADDQ in SIMPLE_RECURRENCE_OPCODES
+        assert Opcode.MULQ not in SIMPLE_RECURRENCE_OPCODES
+
+    def test_writes_register(self):
+        assert writes_register(Opcode.LDQ)
+        assert writes_register(Opcode.MOVE)
+        assert not writes_register(Opcode.STQ)
+        assert not writes_register(Opcode.PREFETCH)
+        assert not writes_register(Opcode.BNE)
+
+
+class TestRegisterPool:
+    def test_excludes_reserved_and_zero(self):
+        pool = fresh_register_pool()
+        assert 28 not in pool and 31 not in pool
+        assert 0 in pool
+
+    def test_exclude_parameter(self):
+        pool = fresh_register_pool(exclude=[0, 1, 2])
+        assert 0 not in pool and 3 in pool
+
+
+class TestInstructionSources:
+    def test_alu_sources(self):
+        inst = Instruction(Opcode.ADDQ, rd=1, ra=2, rb=3)
+        assert set(inst.source_registers()) == {2, 3}
+
+    def test_imm_form_single_source(self):
+        inst = Instruction(Opcode.ADDQ, rd=1, ra=2, imm=5)
+        assert inst.source_registers() == (2,)
+
+    def test_prefetch_source(self):
+        inst = Instruction(Opcode.PREFETCH, ra=4, disp=64)
+        assert inst.source_registers() == (4,)
+
+
+class TestDataMemory:
+    def test_write_array_and_len(self):
+        memory = DataMemory()
+        memory.write_array(0x1000, [1, 2, 3])
+        assert len(memory) == 3
+        assert memory.read(0x1008) == 2
+
+    def test_word_alignment_of_access(self):
+        memory = DataMemory()
+        memory.write(0x1004, 9)  # lands in the word at 0x1000
+        assert memory.read(0x1000) == 9
+        assert memory.is_mapped(0x1007)
+        assert not memory.is_mapped(0x1008)
+
+    def test_read_quiet_does_not_count(self):
+        memory = DataMemory()
+        memory.read_quiet(0x5000)
+        assert memory.unmapped_reads == 0
+        memory.read(0x5000)
+        assert memory.unmapped_reads == 1
+
+
+class TestCacheConfigVariants:
+    def test_line_size_changes_sets(self):
+        a = CacheConfig(64 * 1024, 2, 3, line_size=64)
+        b = CacheConfig(64 * 1024, 2, 3, line_size=128)
+        assert a.num_sets == 2 * b.num_sets
+
+
+class TestRecordMultiPrefetchPatch:
+    def test_apply_distance_patches_all_instructions(self):
+        from repro.core.repair import PrefetchRecord
+
+        insts = [
+            Instruction(Opcode.PREFETCH, ra=1, disp=0),
+            Instruction(Opcode.PREFETCH, ra=1, disp=0),
+        ]
+        record = PrefetchRecord(
+            group_key=(1, 2),
+            load_pcs=(1, 2),
+            base_reg=1,
+            stride=64,
+            distance=3,
+            base_offsets=(0, 128),
+            instructions=insts,
+        )
+        record.apply_distance()
+        assert insts[0].disp == 0 + 64 * 3
+        assert insts[1].disp == 128 + 64 * 3
+
+
+class TestSimulationInputs:
+    def test_accepts_workload_object(self):
+        from repro import Simulation, SimulationConfig, PrefetchPolicy
+        from repro.workloads.registry import load_workload
+
+        workload = load_workload("swim")
+        sim = Simulation(
+            workload,
+            SimulationConfig(
+                policy=PrefetchPolicy.NONE, max_instructions=2_000
+            ),
+        )
+        result = sim.run()
+        assert result.workload == "swim"
+
+    def test_seed_threaded_to_builder(self):
+        from repro import run_simulation, PrefetchPolicy
+
+        a = run_simulation(
+            "dot", policy=PrefetchPolicy.NONE, max_instructions=2_000,
+            seed=1,
+        )
+        b = run_simulation(
+            "dot", policy=PrefetchPolicy.NONE, max_instructions=2_000,
+            seed=2,
+        )
+        # Different layout, (almost surely) different timing.
+        assert a.cycles != b.cycles

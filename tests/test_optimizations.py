@@ -1,0 +1,181 @@
+"""Tests for the classical trace optimizations (Trident base opts)."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trident.optimizations import optimize_trace_body
+from repro.trident.trace import TraceInstruction
+
+
+def ti(opcode, **kwargs):
+    return TraceInstruction(inst=Instruction(opcode, **kwargs), orig_pc=0)
+
+
+def ops(body):
+    return [t.inst.opcode for t in body]
+
+
+class TestRedundantLoadRemoval:
+    def test_second_identical_load_becomes_move(self):
+        body = [
+            ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+            ti(Opcode.ADDQ, rd=3, ra=2, imm=1),
+            ti(Opcode.LDQ, rd=4, ra=1, disp=8),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["redundant_loads_removed"] == 1
+        assert out[2].inst.opcode is Opcode.MOVE
+        assert out[2].inst.ra == 2
+        assert out[2].inst.rd == 4
+
+    def test_base_redefinition_blocks_removal(self):
+        body = [
+            ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+            ti(Opcode.LDA, rd=1, ra=1, disp=64),
+            ti(Opcode.LDQ, rd=4, ra=1, disp=8),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["redundant_loads_removed"] == 0
+        assert ops(out).count(Opcode.LDQ) == 2
+
+    def test_value_clobber_blocks_removal(self):
+        body = [
+            ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+            ti(Opcode.LDA, rd=2, ra=31, disp=0),  # clobbers r2
+            ti(Opcode.LDQ, rd=4, ra=1, disp=8),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["redundant_loads_removed"] == 0
+
+    def test_intervening_store_blocks_removal(self):
+        body = [
+            ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+            ti(Opcode.STQ, rd=5, ra=6, disp=0),   # unknown alias
+            ti(Opcode.LDQ, rd=4, ra=1, disp=8),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["redundant_loads_removed"] == 0
+
+    def test_different_disp_not_removed(self):
+        body = [
+            ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+            ti(Opcode.LDQ, rd=4, ra=1, disp=16),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["redundant_loads_removed"] == 0
+
+    def test_self_chase_load_never_forwarded(self):
+        body = [
+            ti(Opcode.LDQ, rd=1, ra=1, disp=0),
+            ti(Opcode.LDQ, rd=2, ra=1, disp=0),
+        ]
+        out, counts = optimize_trace_body(body)
+        # The first load redefines its own base: no fact survives.
+        assert counts["redundant_loads_removed"] == 0
+
+
+class TestStoreLoadForwarding:
+    def test_store_then_load_becomes_move(self):
+        body = [
+            ti(Opcode.STQ, rd=2, ra=1, disp=8),
+            ti(Opcode.LDQ, rd=4, ra=1, disp=8),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["store_load_forwarded"] == 1
+        assert out[1].inst.opcode is Opcode.MOVE
+        assert out[1].inst.ra == 2
+
+    def test_store_invalidates_previous_facts(self):
+        body = [
+            ti(Opcode.LDQ, rd=2, ra=1, disp=8),
+            ti(Opcode.STQ, rd=5, ra=3, disp=0),
+            ti(Opcode.LDQ, rd=4, ra=1, disp=8),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["redundant_loads_removed"] == 0
+
+
+class TestConstantFolding:
+    def test_li_chain_folds(self):
+        body = [
+            ti(Opcode.LDA, rd=1, ra=31, disp=100),
+            ti(Opcode.ADDQ, rd=2, ra=1, imm=5),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["constants_folded"] == 1
+        assert out[1].inst.opcode is Opcode.LDA
+        assert out[1].inst.disp == 105
+
+    def test_register_rhs_folds_when_known(self):
+        body = [
+            ti(Opcode.LDA, rd=1, ra=31, disp=6),
+            ti(Opcode.LDA, rd=2, ra=31, disp=7),
+            ti(Opcode.MULQ, rd=3, ra=1, rb=2),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["constants_folded"] == 1
+        assert out[2].inst.disp == 42
+
+    def test_unknown_source_blocks_fold(self):
+        body = [
+            ti(Opcode.ADDQ, rd=2, ra=1, imm=5),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["constants_folded"] == 0
+
+    def test_redefinition_kills_constant(self):
+        body = [
+            ti(Opcode.LDA, rd=1, ra=31, disp=100),
+            ti(Opcode.LDQ, rd=1, ra=3, disp=0),   # r1 now unknown
+            ti(Opcode.ADDQ, rd=2, ra=1, imm=5),
+        ]
+        out, counts = optimize_trace_body(body)
+        assert counts["constants_folded"] == 0
+
+
+class TestStrengthReduction:
+    def test_mul_by_power_of_two_becomes_shift(self):
+        body = [ti(Opcode.MULQ, rd=2, ra=1, imm=8)]
+        out, counts = optimize_trace_body(body)
+        assert counts["strength_reduced"] == 1
+        assert out[0].inst.opcode is Opcode.SLL
+        assert out[0].inst.imm == 3
+
+    def test_mul_by_non_power_untouched(self):
+        body = [ti(Opcode.MULQ, rd=2, ra=1, imm=6)]
+        out, counts = optimize_trace_body(body)
+        assert counts["strength_reduced"] == 0
+
+    def test_mul_by_register_untouched(self):
+        body = [ti(Opcode.MULQ, rd=2, ra=1, rb=3)]
+        out, counts = optimize_trace_body(body)
+        assert counts["strength_reduced"] == 0
+
+
+class TestSemanticsPreserved:
+    def test_optimized_trace_computes_same_result(self):
+        """Run original vs optimized straight-line code functionally."""
+        from repro.cpu.context import ThreadContext
+        from repro.cpu.executor import Executor
+        from repro.memory.mainmem import DataMemory
+
+        body = [
+            ti(Opcode.LDA, rd=1, ra=31, disp=0x1000),
+            ti(Opcode.LDA, rd=5, ra=31, disp=4),
+            ti(Opcode.MULQ, rd=5, ra=5, imm=16),
+            ti(Opcode.STQ, rd=5, ra=1, disp=8),
+            ti(Opcode.LDQ, rd=6, ra=1, disp=8),
+            ti(Opcode.LDQ, rd=7, ra=1, disp=8),
+            ti(Opcode.ADDQ, rd=8, ra=6, rb=7),
+        ]
+        optimized, counts = optimize_trace_body([t.copy() for t in body])
+        assert sum(counts.values()) > 0
+
+        def run(instrs):
+            mem = DataMemory()
+            ctx = ThreadContext()
+            executor = Executor(mem)
+            for t in instrs:
+                executor.execute(t.inst, ctx)
+            return ctx.regs[8]
+
+        assert run(body) == run(optimized) == 128

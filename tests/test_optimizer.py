@@ -1,0 +1,210 @@
+"""Unit tests for the PrefetchOptimizer's decision tree."""
+
+import pytest
+
+from repro.config import MachineConfig, PrefetchPolicy, TridentConfig
+from repro.core.optimizer import PrefetchOptimizer
+from repro.trident.code_cache import CodeCache
+from repro.trident.dlt import DelinquentLoadTable
+from repro.trident.trace_formation import form_trace
+from repro.trident.watch_table import WatchTable
+
+from conftest import simple_stride_program
+
+
+def make_optimizer(policy=PrefetchPolicy.SELF_REPAIRING, **kwargs):
+    machine = MachineConfig()
+    trident = TridentConfig()
+    dlt = DelinquentLoadTable(trident.dlt, machine.l2_miss_latency / 2)
+    watch = WatchTable()
+    cache = CodeCache()
+    opt = PrefetchOptimizer(
+        machine=machine,
+        trident=trident,
+        policy=policy,
+        dlt=dlt,
+        watch_table=watch,
+        code_cache=cache,
+        **kwargs,
+    )
+    return opt
+
+
+def make_trace(opt):
+    program = simple_stride_program(iters=1_000)
+    trace = form_trace(program, 2, [True], opt.trident)
+    opt.code_cache.link(trace)
+    entry = opt.watch_table.register(trace.trace_id, 2, len(trace))
+    opt.watch_table.record_execution(trace.trace_id, 20.0, True)
+    return trace
+
+
+def drive_delinquency(opt, pc, windows=1, stride=8):
+    addr = 0x100000
+    for _ in range(windows * opt.trident.dlt.access_window):
+        opt.dlt.update(pc, addr, True, 350)
+        addr += stride
+
+
+class TestDecisionTree:
+    def test_first_event_yields_insertion(self):
+        opt = make_optimizer()
+        trace = make_trace(opt)
+        pc = trace.load_pcs()[0]
+        drive_delinquency(opt, pc)
+        job = opt.process_delinquent_load(trace, pc)
+        assert job.kind == "insert"
+        job.apply()
+        new = opt.code_cache.lookup(2)
+        assert new.prefetch_instructions()
+        assert opt.stats.insertion_jobs == 1
+        # Adaptive policy starts at distance 1.
+        record = new.meta["records"][pc]
+        assert record.distance == 1
+
+    def test_second_event_yields_repair(self):
+        opt = make_optimizer()
+        trace = make_trace(opt)
+        pc = trace.load_pcs()[0]
+        drive_delinquency(opt, pc)
+        opt.process_delinquent_load(trace, pc).apply()
+        new = opt.code_cache.lookup(2)
+        drive_delinquency(opt, pc)
+        job = opt.process_delinquent_load(new, pc)
+        assert job.kind == "repair"
+        job.apply()
+        assert opt.stats.repairs_applied == 1
+        assert new.meta["records"][pc].distance == 2
+
+    def test_non_adaptive_policy_matures_after_insertion(self):
+        opt = make_optimizer(policy=PrefetchPolicy.BASIC)
+        trace = make_trace(opt)
+        pc = trace.load_pcs()[0]
+        drive_delinquency(opt, pc)
+        opt.process_delinquent_load(trace, pc).apply()
+        assert opt.dlt.lookup(pc).mature
+
+    def test_basic_policy_uses_estimate(self):
+        opt = make_optimizer(policy=PrefetchPolicy.BASIC)
+        trace = make_trace(opt)
+        pc = trace.load_pcs()[0]
+        drive_delinquency(opt, pc)
+        opt.process_delinquent_load(trace, pc).apply()
+        new = opt.code_cache.lookup(2)
+        record = new.meta["records"][pc]
+        # avg miss latency 350 / avg exec 20 -> estimate ~18.
+        assert record.distance == pytest.approx(18, abs=2)
+
+    def test_unclassifiable_load_matures(self):
+        from repro.isa.assembler import Assembler
+
+        # A gather: base register computed from a loaded value.
+        asm = Assembler("gather")
+        asm.li("r1", 0x10000)
+        asm.li("r4", 0x40000)
+        asm.li("r2", 1000)
+        asm.label("loop")
+        asm.ldq("r3", "r1", 0)
+        asm.sll("r5", "r3", imm=3)
+        asm.addq("r5", "r5", rb="r4")
+        asm.ldq("r6", "r5", 0)       # gather (pc 7)
+        asm.lda("r1", "r1", 8)
+        asm.subq("r2", "r2", imm=1)
+        asm.bne("r2", "loop")
+        asm.halt()
+        program = asm.build()
+        opt = make_optimizer()
+        trace = form_trace(program, 3, [True], opt.trident)
+        opt.code_cache.link(trace)
+        opt.watch_table.register(trace.trace_id, 3, len(trace))
+        gather_pc = 6
+        # Scrambled addresses: no stride for the DLT to find.
+        import random
+        rng = random.Random(0)
+        for _ in range(256):
+            opt.dlt.update(gather_pc, rng.randrange(1 << 22) * 8, True, 350)
+        job = opt.process_delinquent_load(trace, gather_pc)
+        job.apply()
+        assert opt.dlt.lookup(gather_pc).mature
+        # The index load (pc 3, strided) may have earned a prefetch, but
+        # the gather itself never did.
+        current = opt.code_cache.lookup(3)
+        records = current.meta.get("records", {}) if current else {}
+        assert gather_pc not in records
+
+    def test_batch_repair_covers_sibling_records(self):
+        """One event repairs every delinquent record in the trace."""
+        from repro.isa.assembler import Assembler
+
+        asm = Assembler("two_streams")
+        asm.li("r1", 0x100000)
+        asm.li("r2", 0x900000)
+        asm.li("r3", 10_000)
+        asm.label("loop")
+        asm.ldq("r4", "r1", 0)
+        asm.ldq("r5", "r2", 0)
+        asm.lda("r1", "r1", 64)
+        asm.lda("r2", "r2", 64)
+        asm.subq("r3", "r3", imm=1)
+        asm.bne("r3", "loop")
+        asm.halt()
+        program = asm.build()
+        opt = make_optimizer()
+        trace = form_trace(program, 3, [True], opt.trident)
+        opt.code_cache.link(trace)
+        opt.watch_table.register(trace.trace_id, 3, len(trace))
+        opt.watch_table.record_execution(trace.trace_id, 20.0, True)
+        pc_a, pc_b = trace.load_pcs()
+        drive_delinquency(opt, pc_a, stride=64)
+        drive_delinquency(opt, pc_b, stride=64)
+        opt.process_delinquent_load(trace, pc_a).apply()
+        new = opt.code_cache.lookup(3)
+        drive_delinquency(opt, pc_a, stride=64)
+        drive_delinquency(opt, pc_b, stride=64)
+        job = opt.process_delinquent_load(new, pc_a)
+        job.apply()
+        records = new.meta["records"]
+        assert records[pc_a].repairs_done == 1
+        assert records[pc_b].repairs_done == 1
+
+    def test_regeneration_preserves_repair_state(self):
+        """A newly delinquent group member triggers regeneration; the
+        existing group's repair state survives through inheritance."""
+        from repro.isa.assembler import Assembler
+
+        asm = Assembler("two_fields")
+        asm.li("r1", 0x100000)
+        asm.li("r3", 10_000)
+        asm.label("loop")
+        asm.ldq("r4", "r1", 0)       # field A (pc 2)
+        asm.ldq("r5", "r1", 256)     # field B (pc 3): a separate line
+        asm.lda("r1", "r1", 64)
+        asm.subq("r3", "r3", imm=1)
+        asm.bne("r3", "loop")
+        asm.halt()
+        program = asm.build()
+        opt = make_optimizer()
+        trace = form_trace(program, 2, [True], opt.trident)
+        opt.code_cache.link(trace)
+        opt.watch_table.register(trace.trace_id, 2, len(trace))
+        opt.watch_table.record_execution(trace.trace_id, 20.0, True)
+        pc_a, pc_b = trace.load_pcs()
+        # Only field A is delinquent at first: the plan covers A alone.
+        drive_delinquency(opt, pc_a, stride=64)
+        opt.process_delinquent_load(trace, pc_a).apply()
+        new = opt.code_cache.lookup(2)
+        records = new.meta["records"]
+        assert pc_a in records and pc_b not in records
+        records[pc_a].distance = 7
+        records[pc_a].repairs_done = 3
+        # Field B turns delinquent later: regeneration must widen the
+        # plan while keeping A's repair state.
+        drive_delinquency(opt, pc_a, stride=64)
+        drive_delinquency(opt, pc_b, stride=64)
+        opt.process_delinquent_load(new, pc_b).apply()
+        regenerated = opt.code_cache.lookup(2)
+        assert regenerated.trace_id != new.trace_id
+        inherited = regenerated.meta["records"][pc_a]
+        assert inherited.distance == 7
+        assert inherited.repairs_done == 3
+        assert pc_b in regenerated.meta["records"]

@@ -1,0 +1,70 @@
+"""Self-repairing pipeline smoke across all 14 workloads.
+
+Each benchmark runs long enough for trace formation and (where its design
+allows) prefetch insertion; the assertions check the pipeline stage each
+workload is *designed* to reach.
+"""
+
+import pytest
+
+from repro.config import PrefetchPolicy
+from repro.harness.runner import run_simulation
+from repro.workloads.registry import BENCHMARK_NAMES
+
+#: Workloads whose delinquent loads are stride-classifiable: insertion
+#: must produce stride prefetches.
+STRIDE_INSERTING = [
+    "applu", "art", "facerec", "fma3d", "galgel", "gap", "mcf", "mgrid",
+    "swim", "vis", "wupwise",
+]
+
+#: Workloads whose chains are scrambled: pointer prefetches instead.
+POINTER_INSERTING = ["dot", "parser"]
+
+
+#: applu/facerec iterate ~300-instruction bodies, so one DLT monitoring
+#: window (256 accesses per load) spans ~80k instructions — they need a
+#: longer run before the first delinquent-load event can fire.
+BUDGETS = {"applu": 180_000, "facerec": 180_000}
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in BENCHMARK_NAMES:
+        out[name] = run_simulation(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=BUDGETS.get(name, 60_000),
+        )
+    return out
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_traces_link(results, name):
+    assert results[name].traces_linked >= 1
+
+
+@pytest.mark.parametrize("name", STRIDE_INSERTING)
+def test_stride_prefetches_inserted(results, name):
+    assert results[name].prefetches_inserted >= 1, name
+
+
+@pytest.mark.parametrize("name", POINTER_INSERTING)
+def test_pointer_prefetches_inserted(results, name):
+    result = results[name]
+    assert (
+        result.pointer_prefetches_inserted >= 1
+        or result.loads_matured >= 1
+    ), name
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_synthetic_instructions_never_counted(results, name):
+    assert results[name].instructions == BUDGETS.get(name, 60_000)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_breakdown_sums_to_one(results, name):
+    total = sum(results[name].breakdown().values())
+    assert total == pytest.approx(1.0, abs=1e-9)

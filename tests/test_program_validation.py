@@ -1,0 +1,70 @@
+"""Edge cases of program construction and validation."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+class TestValidation:
+    def test_empty_program_is_valid(self):
+        Program(name="empty").validate()
+
+    def test_entry_out_of_range(self):
+        program = Program(
+            instructions=[Instruction(Opcode.HALT)], entry=5, name="p"
+        )
+        with pytest.raises(ValueError, match="entry"):
+            program.validate()
+
+    def test_jmp_needs_no_static_target(self):
+        program = Program(
+            instructions=[
+                Instruction(Opcode.JMP, ra=1),
+                Instruction(Opcode.HALT),
+            ],
+            name="p",
+        )
+        program.validate()
+
+    def test_unresolved_branch_detected(self):
+        program = Program(
+            instructions=[
+                Instruction(Opcode.BNE, ra=1, label="missing"),
+                Instruction(Opcode.HALT),
+            ],
+            name="p",
+        )
+        with pytest.raises(ValueError, match="unresolved"):
+            program.validate()
+
+    def test_negative_target_rejected(self):
+        program = Program(
+            instructions=[
+                Instruction(Opcode.BR, target=-1),
+                Instruction(Opcode.HALT),
+            ],
+            name="p",
+        )
+        with pytest.raises(ValueError):
+            program.validate()
+
+
+class TestAssemblerEmitPath:
+    def test_emit_checks_reserved(self):
+        asm = Assembler("t")
+        with pytest.raises(ValueError):
+            asm.emit(Instruction(Opcode.LDA, rd=29, ra=31, disp=0))
+
+    def test_emit_allows_stores_of_any_reg(self):
+        asm = Assembler("t")
+        # A store names r28 as its *value* (a read), which is fine.
+        asm.emit(Instruction(Opcode.STQ, rd=28, ra=1, disp=0))
+        assert asm.here == 1
+
+    def test_label_returns_pc(self):
+        asm = Assembler("t")
+        asm.nop()
+        assert asm.label("x") == 1

@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, DLTConfig
+from repro.core.insertion import plan_group_offsets
+from repro.core.repair import PrefetchRecord, repair
+from repro.cpu.executor import _wrap64
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.mainmem import DataMemory, HeapAllocator
+from repro.trident.dlt import DelinquentLoadTable
+
+addresses = st.integers(min_value=0, max_value=1 << 24)
+
+
+class TestCacheProperties:
+    @given(st.lists(addresses, min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_capacity_never_exceeded(self, addrs):
+        cache = SetAssociativeCache(CacheConfig(4 * 64 * 2, 2, 3, 64))
+        for addr in addrs:
+            cache.install(addr)
+        for bucket in cache._sets.values():
+            assert len(bucket) <= 2
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_most_recent_install_is_resident(self, addrs):
+        cache = SetAssociativeCache(CacheConfig(8 * 64 * 2, 2, 3, 64))
+        for addr in addrs:
+            cache.install(addr)
+            assert cache.contains(addr)
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_lookup_agrees_with_contains(self, addrs):
+        cache = SetAssociativeCache(CacheConfig(8 * 64 * 2, 2, 3, 64))
+        for i, addr in enumerate(addrs):
+            if i % 2:
+                cache.install(addr)
+            resident = cache.contains(addr)
+            line = cache.lookup(addr)
+            assert (line is not None) == resident
+
+
+class TestMemoryProperties:
+    @given(
+        st.lists(
+            st.tuples(addresses, st.integers(-(2**40), 2**40)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50)
+    def test_read_your_writes(self, pairs):
+        memory = DataMemory()
+        expected = {}
+        for addr, value in pairs:
+            memory.write(addr, value)
+            expected[addr & ~7] = value
+        for addr, value in expected.items():
+            assert memory.read(addr) == value
+
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), max_size=40))
+    @settings(max_examples=50)
+    def test_allocations_never_overlap(self, sizes):
+        alloc = HeapAllocator(DataMemory())
+        regions = []
+        for size in sizes:
+            base = alloc.alloc(size)
+            regions.append((base, base + size))
+        regions.sort()
+        for (a_start, a_end), (b_start, _b_end) in zip(
+            regions, regions[1:]
+        ):
+            assert a_end <= b_start
+
+    @given(st.integers(min_value=1, max_value=200), st.booleans())
+    @settings(max_examples=30)
+    def test_linked_list_is_a_ring_over_all_nodes(self, count, scramble):
+        from repro.workloads.data import build_linked_list
+
+        memory = DataMemory()
+        alloc = HeapAllocator(memory)
+        head, nodes = build_linked_list(
+            alloc,
+            node_words=4,
+            count=count,
+            rng=random.Random(1),
+            scramble=scramble,
+        )
+        seen = set()
+        addr = head
+        for _ in range(count):
+            assert addr not in seen
+            seen.add(addr)
+            addr = memory.read(addr)
+        assert addr == head  # closed ring
+        assert seen == set(nodes)
+
+
+class TestDLTProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),   # pc
+                addresses,
+                st.booleans(),                            # miss?
+            ),
+            min_size=1,
+            max_size=600,
+        )
+    )
+    @settings(max_examples=30)
+    def test_counters_stay_bounded(self, updates):
+        dlt = DelinquentLoadTable(DLTConfig(entries=16), 17.5)
+        for pc, addr, is_miss in updates:
+            dlt.update(pc, addr, is_miss, 350 if is_miss else 0)
+        for entry in dlt.entries():
+            assert 0 <= entry.confidence <= 15
+            assert entry.miss_counter <= entry.access_counter
+            assert entry.access_counter <= DLTConfig().access_window
+        # Associativity bound.
+        for bucket in dlt._sets.values():
+            assert len(bucket) <= DLTConfig().associativity
+
+    @given(st.integers(min_value=1, max_value=2000), st.integers(8, 4096))
+    @settings(max_examples=40)
+    def test_constant_stride_always_detected(self, start, stride):
+        dlt = DelinquentLoadTable(DLTConfig(), 17.5)
+        addr = start
+        for _ in range(17):
+            dlt.update(3, addr, False, 0)
+            addr += stride
+        assert dlt.predicted_stride(3) == stride
+
+
+class TestInsertionProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=-4096, max_value=4096),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        )
+    )
+    @settings(max_examples=100)
+    def test_every_offset_covered_by_a_prefetch(self, offsets):
+        line = 64
+        plan = plan_group_offsets(sorted(offsets), line)
+        for off in offsets:
+            assert any(0 <= off - p < line for p in plan), (
+                f"offset {off} uncovered by plan {plan}"
+            )
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1024),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        )
+    )
+    @settings(max_examples=100)
+    def test_plan_is_no_larger_than_offsets(self, offsets):
+        plan = plan_group_offsets(sorted(offsets), 64)
+        # Skipping may add one extra block per emitted prefetch but the
+        # plan never exceeds the input size plus the trailing extra.
+        assert len(plan) <= len(offsets) + 1
+
+
+class TestRepairProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=400.0),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_distance_stays_in_bounds(self, latencies):
+        inst = Instruction(Opcode.PREFETCH, ra=1, disp=0)
+        record = PrefetchRecord(
+            group_key=(0,),
+            load_pcs=(0,),
+            base_reg=1,
+            stride=8,
+            distance=1,
+            base_offsets=(0,),
+            instructions=[inst],
+            max_distance=16,
+            repairs_left=32,
+        )
+        for latency in latencies:
+            if record.mature:
+                break
+            repair(record, latency)
+            assert 1 <= record.distance <= record.max_distance
+            assert inst.disp == record.stride * record.distance
+        # The budget rule guarantees termination.
+        assert record.repairs_done <= 32
+
+
+class TestExecutorProperties:
+    @given(st.integers(-(2**70), 2**70))
+    @settings(max_examples=200)
+    def test_wrap64_is_signed_64bit(self, value):
+        wrapped = _wrap64(value)
+        assert -(2**63) <= wrapped < 2**63
+        assert (wrapped - value) % (2**64) == 0
+
+    @given(st.integers(-(2**63), 2**63 - 1))
+    @settings(max_examples=100)
+    def test_wrap64_identity_in_range(self, value):
+        assert _wrap64(value) == value
+
+
+class TestConfigProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.integers(min_value=32, max_value=4096),
+        st.floats(min_value=0.005, max_value=0.5),
+    )
+    @settings(max_examples=60)
+    def test_dlt_window_rate_roundtrip(self, window, rate):
+        from repro.config import DLTConfig
+
+        dlt = DLTConfig().with_window(window).with_miss_rate(rate)
+        assert dlt.access_window == window
+        assert 1 <= dlt.miss_threshold <= window
+        # The realised rate approximates the requested one.
+        # threshold is an integer >= 1: the realised rate can differ by
+        # up to one count per window.
+        assert abs(dlt.miss_rate_threshold - rate) <= max(
+            1.0 / window, rate * 0.5
+        )
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20)
+    def test_l1_resize_keeps_geometry_legal(self, factor):
+        from repro.config import MachineConfig
+
+        machine = MachineConfig().with_l1_size(factor * 16 * 1024)
+        assert machine.l1.num_sets >= 1
+        assert machine.l1.size_bytes == factor * 16 * 1024

@@ -1,0 +1,83 @@
+"""Public API surface: the names a downstream user is promised."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_symbols(self):
+        from repro import (
+            BENCHMARK_NAMES,
+            MachineConfig,
+            PrefetchPolicy,
+            Simulation,
+            SimulationConfig,
+            SimulationResult,
+            TridentConfig,
+            load_workload,
+            run_simulation,
+        )
+
+        assert callable(run_simulation)
+        assert len(BENCHMARK_NAMES) == 14
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.isa",
+        "repro.memory",
+        "repro.hwprefetch",
+        "repro.cpu",
+        "repro.trident",
+        "repro.core",
+        "repro.workloads",
+        "repro.harness",
+    ],
+)
+class TestSubpackages:
+    def test_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} needs a docstring"
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestDocumentation:
+    def test_public_classes_documented(self):
+        from repro.core.optimizer import PrefetchOptimizer
+        from repro.cpu.core import SMTCore
+        from repro.harness.runner import Simulation, SimulationResult
+        from repro.memory.hierarchy import MemoryHierarchy
+        from repro.trident.dlt import DelinquentLoadTable
+        from repro.trident.runtime import TridentRuntime
+
+        for cls in (
+            PrefetchOptimizer,
+            SMTCore,
+            Simulation,
+            SimulationResult,
+            MemoryHierarchy,
+            DelinquentLoadTable,
+            TridentRuntime,
+        ):
+            assert cls.__doc__ and len(cls.__doc__) > 20
+
+    def test_repo_docs_exist(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).parent.parent
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE"):
+            path = root / doc
+            assert path.exists(), doc
+            assert len(path.read_text()) > 200

@@ -1,0 +1,107 @@
+"""Tests for the report helpers and memory statistics aggregation."""
+
+import pytest
+
+from repro.harness.report import (
+    arithmetic_mean,
+    geometric_mean,
+    percent,
+    render_mapping,
+    render_table,
+    speedup_percent,
+)
+from repro.memory.stats import (
+    LoadOutcome,
+    MemoryStats,
+    OutcomeKind,
+    PrefetchSource,
+)
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert percent(0.231) == "23.1%"
+        assert percent(0.5, 0) == "50%"
+
+    def test_speedup_percent(self):
+        assert speedup_percent(1.231) == "+23.1%"
+        assert speedup_percent(0.9) == "-10.0%"
+        assert speedup_percent(1.0) == "+0.0%"
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -1.0]) == 0.0  # non-positive dropped
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["name", "value"],
+            [("a", 1.5), ("long_name", 22.125)],
+            title="T",
+            precision=2,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "1.50" in text and "22.12" in text
+        # All data rows align to the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_render_mapping(self):
+        text = render_mapping("Config", {"alpha": 1, "beta": 2.5})
+        assert "alpha" in text and "2.500" in text
+
+
+class TestMemoryStats:
+    def test_record_and_fractions(self):
+        stats = MemoryStats()
+        stats.record(LoadOutcome(OutcomeKind.HIT, 3, "l1"))
+        stats.record(LoadOutcome(OutcomeKind.MISS, 350, "mem"))
+        stats.record(
+            LoadOutcome(
+                OutcomeKind.HIT_PREFETCHED, 3, "l1", PrefetchSource.SOFTWARE
+            )
+        )
+        assert stats.total_loads == 3
+        assert stats.total_misses == 1
+        assert stats.fraction(OutcomeKind.HIT) == pytest.approx(1 / 3)
+        breakdown = stats.breakdown()
+        assert breakdown["hit_prefetched"] == pytest.approx(1 / 3)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_prefetched_hits_attributed_by_source(self):
+        stats = MemoryStats()
+        stats.record(
+            LoadOutcome(
+                OutcomeKind.PARTIAL_HIT, 100, "inflight",
+                PrefetchSource.STREAM_BUFFER,
+            )
+        )
+        assert (
+            stats.prefetched_hits_by_source[PrefetchSource.STREAM_BUFFER]
+            == 1
+        )
+        assert stats.prefetched_hits_by_source[PrefetchSource.SOFTWARE] == 0
+
+    def test_outcome_miss_semantics(self):
+        assert LoadOutcome(OutcomeKind.PARTIAL_HIT, 90, "inflight").is_miss
+        assert LoadOutcome(OutcomeKind.MISS, 350, "mem").is_miss
+        assert LoadOutcome(
+            OutcomeKind.MISS_DUE_TO_PREFETCH, 350, "mem"
+        ).is_miss
+        assert not LoadOutcome(OutcomeKind.HIT, 3, "l1").is_miss
+        assert not LoadOutcome(OutcomeKind.HIT_PREFETCHED, 3, "l1").is_miss
+
+    def test_miss_latency_zero_for_hits(self):
+        assert LoadOutcome(OutcomeKind.HIT, 3, "l1").miss_latency == 0
+        assert (
+            LoadOutcome(OutcomeKind.MISS, 350, "mem").miss_latency == 350
+        )
+
+    def test_empty_breakdown(self):
+        stats = MemoryStats()
+        assert stats.fraction(OutcomeKind.HIT) == 0.0
+        assert stats.total_loads == 0

@@ -1,0 +1,137 @@
+"""Unit tests for the TridentRuntime event plumbing."""
+
+import pytest
+
+from repro.config import MachineConfig, PrefetchPolicy, TridentConfig
+from repro.memory.stats import LoadOutcome, OutcomeKind
+from repro.trident.runtime import TridentRuntime
+from repro.trident.trace_formation import form_trace
+
+from conftest import simple_stride_program
+
+
+MISS = LoadOutcome(OutcomeKind.MISS, 350, "mem")
+HIT = LoadOutcome(OutcomeKind.HIT, 3, "l1")
+
+
+def make_runtime(policy=PrefetchPolicy.SELF_REPAIRING, **kwargs):
+    program = simple_stride_program(iters=10_000)
+    return TridentRuntime(
+        program=program,
+        machine=MachineConfig(),
+        trident=TridentConfig(),
+        policy=policy,
+        **kwargs,
+    )
+
+
+def link_a_trace(runtime):
+    """Manually form and link the stride loop's trace (head pc 2)."""
+    trace = form_trace(runtime.program, 2, [True], runtime.trident)
+    runtime.code_cache.link(trace)
+    runtime.watch_table.register(trace.trace_id, trace.head_pc, len(trace))
+    runtime.trace_load_pcs.update(trace.load_pcs())
+    return trace
+
+
+class TestEventFlow:
+    def test_hot_branches_eventually_form_trace(self):
+        runtime = make_runtime()
+        for i in range(40):
+            runtime.on_branch(6, True, 2, cycle=float(i))
+            runtime.tick(float(i))
+        # Drive time forward so the helper job applies.
+        runtime.tick(1e9)
+        assert runtime.traces_linked == 1
+        assert runtime.trace_at(2) is not None
+
+    def test_overhead_only_never_exposes_traces(self):
+        runtime = make_runtime(overhead_only=True)
+        for i in range(40):
+            runtime.on_branch(6, True, 2, cycle=float(i))
+            runtime.tick(float(i))
+        runtime.tick(1e9)
+        assert runtime.traces_linked == 1
+        assert runtime.trace_at(2) is None
+
+    def test_delinquent_event_inserts_prefetch(self):
+        runtime = make_runtime()
+        trace = link_a_trace(runtime)
+        load_pc = trace.load_pcs()[0]
+        addr = 0x100000
+        cycle = 0.0
+        for i in range(6000):
+            runtime.on_trace_load(load_pc, trace, addr, MISS, cycle)
+            runtime.on_trace_execution(trace, 10.0, True, cycle)
+            addr += 64
+            cycle += 50.0
+            runtime.tick(cycle)
+        runtime.tick(cycle + 1e7)
+        new_trace = runtime.trace_at(2)
+        assert new_trace is not None
+        assert new_trace.trace_id != trace.trace_id
+        assert new_trace.prefetch_instructions()
+        assert load_pc in runtime.prefetch_targeted_pcs()
+
+    def test_hits_never_fire_events(self):
+        runtime = make_runtime()
+        trace = link_a_trace(runtime)
+        load_pc = trace.load_pcs()[0]
+        for i in range(3000):
+            runtime.on_trace_load(
+                load_pc, trace, 0x100000 + 64 * i, HIT, float(i)
+            )
+            runtime.tick(float(i))
+        assert runtime.dlt.events_fired == 0
+
+    def test_policy_without_sw_prefetch_ignores_dlt(self):
+        runtime = make_runtime(policy=PrefetchPolicy.SELF_REPAIRING)
+        runtime.policy = PrefetchPolicy.HW_ONLY  # simulate gating
+        trace = link_a_trace(runtime)
+        load_pc = trace.load_pcs()[0]
+        for i in range(1000):
+            runtime.on_trace_load(
+                load_pc, trace, 0x100000 + 64 * i, MISS, float(i)
+            )
+        assert runtime.dlt.events_fired == 0
+
+    def test_optimizing_flag_suppresses_reentry(self):
+        runtime = make_runtime()
+        trace = link_a_trace(runtime)
+        runtime.watch_table.set_optimizing(trace.trace_id, True)
+        load_pc = trace.load_pcs()[0]
+        addr = 0x100000
+        for i in range(600):
+            runtime.on_trace_load(load_pc, trace, addr, MISS, float(i))
+            addr += 64
+        # Events fired in the DLT but none were queued.
+        assert runtime.dlt.events_fired >= 1
+        assert len(runtime.events) == 0
+
+    def test_trace_only_policy_matures_without_insertion(self):
+        runtime = make_runtime(policy=PrefetchPolicy.TRACE_ONLY)
+        trace = link_a_trace(runtime)
+        load_pc = trace.load_pcs()[0]
+        addr, cycle = 0x100000, 0.0
+        for i in range(2000):
+            runtime.on_trace_load(load_pc, trace, addr, MISS, cycle)
+            addr += 64
+            cycle += 50.0
+            runtime.tick(cycle)
+        runtime.tick(cycle + 1e7)
+        current = runtime.trace_at(2)
+        assert current is trace  # never regenerated
+        assert not trace.prefetch_instructions()
+        entry = runtime.dlt.lookup(load_pc)
+        assert entry.mature
+
+    def test_stale_event_for_replaced_trace_dropped(self):
+        from repro.trident.events import DelinquentLoadEvent
+
+        runtime = make_runtime()
+        trace = link_a_trace(runtime)
+        runtime.events.push(
+            DelinquentLoadEvent(load_pc=99, trace_id=12345, cycle=0.0)
+        )
+        runtime.tick(0.0)  # dispatch: unknown trace id
+        assert runtime.helper.idle

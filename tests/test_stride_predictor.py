@@ -1,0 +1,121 @@
+"""Tests for the hardware stride predictor and stream buffers."""
+
+import pytest
+
+from repro.config import MachineConfig, StreamBufferConfig
+from repro.hwprefetch.stride_predictor import StridePredictor
+from repro.hwprefetch.stream_buffer import StreamBufferPrefetcher
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class TestStridePredictor:
+    def test_learns_constant_stride(self):
+        sp = StridePredictor(64)
+        addr = 0x1000
+        for _ in range(4):
+            sp.update(5, addr)
+            addr += 64
+        assert sp.predict(5) == 64
+
+    def test_no_prediction_below_confidence(self):
+        sp = StridePredictor(64)
+        sp.update(5, 0x1000)
+        sp.update(5, 0x1040)
+        assert sp.predict(5) is None
+
+    def test_zero_stride_never_predicted(self):
+        sp = StridePredictor(64)
+        for _ in range(8):
+            sp.update(5, 0x1000)
+        assert sp.predict(5) is None
+
+    def test_stride_change_relearns(self):
+        sp = StridePredictor(64)
+        addr = 0x1000
+        for _ in range(6):
+            sp.update(5, addr)
+            addr += 64
+        for _ in range(10):
+            sp.update(5, addr)
+            addr += 128
+        assert sp.predict(5) == 128
+
+    def test_conflicting_pcs_replace(self):
+        sp = StridePredictor(4)
+        sp.update(1, 0x1000)
+        sp.update(5, 0x2000)  # same slot (5 % 4 == 1)
+        assert sp.replacements == 1
+        assert sp.confidence_of(1) == 0
+
+    def test_requires_positive_entries(self):
+        with pytest.raises(ValueError):
+            StridePredictor(0)
+
+
+class TestStreamBuffers:
+    def make(self, num=4, entries=4):
+        machine = MachineConfig()
+        hier = MemoryHierarchy(machine)
+        sb = StreamBufferPrefetcher(
+            StreamBufferConfig(num_buffers=num, entries_per_buffer=entries),
+            hier,
+            line_size=64,
+        )
+        hier.stream_prefetcher = sb
+        return hier, sb
+
+    def train(self, hier, pc, start, stride, count, cycle=0, step=50):
+        addr = start
+        for i in range(count):
+            hier.load(pc, addr, cycle + i * step)
+            addr += stride
+        return addr
+
+    def test_allocation_after_confidence(self):
+        hier, sb = self.make()
+        self.train(hier, pc=7, start=0x100000, stride=64, count=6)
+        assert sb.allocations >= 1
+        assert sb.prefetches_issued >= 1
+
+    def test_stream_hits_accumulate(self):
+        hier, sb = self.make()
+        self.train(hier, pc=7, start=0x100000, stride=64, count=30,
+                   step=400)
+        assert sb.stream_hits > 5
+
+    def test_prefetched_lines_get_installed(self):
+        hier, sb = self.make()
+        self.train(hier, pc=7, start=0x100000, stride=64, count=10,
+                   step=500)
+        hier.drain(100_000)
+        # The stream ran ahead: lines beyond the demand point are resident.
+        assert hier.l1.contains(0x100000 + 11 * 64)
+
+    def test_buffer_count_limits_streams(self):
+        hier2, sb2 = self.make(num=2, entries=4)
+        hier8, sb8 = self.make(num=8, entries=4)
+        # Six interleaved streams: the 2-buffer config must thrash.
+        for h, sb in ((hier2, sb2), (hier8, sb8)):
+            cycle = 0
+            for i in range(40):
+                for s in range(6):
+                    h.load(100 + s, 0x100000 + s * 0x100000 + i * 64, cycle)
+                    cycle += 60
+        assert sb8.stream_hits > sb2.stream_hits
+
+    def test_small_stride_skips_within_line(self):
+        hier, sb = self.make()
+        # stride 8: consecutive entries must still be distinct blocks.
+        self.train(hier, pc=7, start=0x100000, stride=8, count=80, step=30)
+        for buffer in sb._buffers:
+            if buffer is not None:
+                assert len(buffer.blocks) == len(set(buffer.blocks))
+
+    def test_no_allocation_for_random_pattern(self):
+        import random
+
+        rng = random.Random(1)
+        hier, sb = self.make()
+        for i in range(60):
+            hier.load(9, rng.randrange(1 << 22) * 64, i * 50)
+        assert sb.allocations == 0

@@ -1,0 +1,101 @@
+"""Property-based tests on the core's timing invariants."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MachineConfig
+from repro.cpu.core import SMTCore
+from repro.isa.assembler import Assembler
+from repro.isa.opcodes import Opcode
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mainmem import DataMemory
+
+
+def random_loop_program(rng_ops, iters=300):
+    """A loop whose body is drawn from a small op vocabulary."""
+    asm = Assembler("rand")
+    asm.li("r1", iters)
+    asm.li("r2", 0x100000)
+    asm.label("loop")
+    for op in rng_ops:
+        if op == 0:
+            asm.ldq("r3", "r2", 0)
+        elif op == 1:
+            asm.addq("r4", "r4", imm=1)
+        elif op == 2:
+            asm.mulf("r5", "r5", rb="r5")
+        elif op == 3:
+            asm.stq("r4", "r2", 8)
+        elif op == 4:
+            asm.lda("r2", "r2", 64)
+        else:
+            asm.xor("r6", "r6", rb="r4")
+    asm.subq("r1", "r1", imm=1)
+    asm.bne("r1", "loop")
+    asm.halt()
+    return asm.build()
+
+
+def run(program, budget=20_000, **config_overrides):
+    config = dataclasses.replace(MachineConfig(), **config_overrides)
+    core = SMTCore(
+        program, DataMemory(), MemoryHierarchy(config), config
+    )
+    core.run(budget)
+    return core
+
+
+ops_strategy = st.lists(
+    st.integers(min_value=0, max_value=5), min_size=1, max_size=12
+)
+
+
+class TestTimingInvariants:
+    @given(ops_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_cycles_positive_and_bounded_below_by_issue(self, ops):
+        core = run(random_loop_program(ops))
+        committed = core.stats.committed
+        assert committed > 0
+        # Cannot beat the issue width.
+        assert core.cycles >= committed / MachineConfig().issue_width - 1
+
+    @given(ops_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic(self, ops):
+        a = run(random_loop_program(ops))
+        b = run(random_loop_program(ops))
+        assert a.cycles == b.cycles
+        assert a.ctx.regs == b.ctx.regs
+
+    @given(ops_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_faster_memory_never_slower(self, ops):
+        slow = run(random_loop_program(ops), memory_latency=350)
+        fast = run(random_loop_program(ops), memory_latency=50)
+        assert fast.cycles <= slow.cycles + 1
+
+    @given(ops_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_wider_issue_never_slower(self, ops):
+        narrow = run(random_loop_program(ops), issue_width=2)
+        wide = run(random_loop_program(ops), issue_width=8)
+        assert wide.cycles <= narrow.cycles + 1
+
+    @given(ops_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_snapshot_monotonic(self, ops):
+        program = random_loop_program(ops, iters=2_000)
+        config = MachineConfig()
+        core = SMTCore(
+            program, DataMemory(), MemoryHierarchy(config), config
+        )
+        last_c, last_t = 0, 0.0
+        for step in range(5):
+            core.run((step + 1) * 1_000)
+            c, t = core.snapshot()
+            assert c >= last_c
+            assert t >= last_t
+            last_c, last_t = c, t

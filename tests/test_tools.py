@@ -1,0 +1,55 @@
+"""Test the EXPERIMENTS.md regeneration tool against a sandbox copy."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+TOOL = ROOT / "tools" / "update_experiments.py"
+
+
+def load_tool(monkeypatch, tmp_path):
+    spec = importlib.util.spec_from_file_location("update_tool", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    results = tmp_path / "results"
+    results.mkdir()
+    monkeypatch.setattr(module, "RESULTS", results)
+    experiments = tmp_path / "EXPERIMENTS.md"
+    monkeypatch.setattr(module, "EXPERIMENTS", experiments)
+    return module, results, experiments
+
+
+class TestUpdateExperiments:
+    def test_replaces_reference_block(self, monkeypatch, tmp_path):
+        module, results, experiments = load_tool(monkeypatch, tmp_path)
+        (results / "fig2_hw_baseline.txt").write_text("TABLE-2\n")
+        (results / "fig5_policies.txt").write_text("TABLE-5\n")
+        experiments.write_text(
+            "# header\n\n## Reference tables\n\n```\nOLD\n```\n\n## Notes\nkeep\n"
+        )
+        assert module.main() == 0
+        text = experiments.read_text()
+        assert "OLD" not in text
+        assert "TABLE-2" in text and "TABLE-5" in text
+        assert text.index("TABLE-2") < text.index("TABLE-5")  # ordered
+        assert "## Notes\nkeep" in text
+
+    def test_missing_results_fail_loudly(self, monkeypatch, tmp_path):
+        module, results, experiments = load_tool(monkeypatch, tmp_path)
+        experiments.write_text("## Reference tables\n\n```\nOLD\n```\n")
+        with pytest.raises(SystemExit, match="no results"):
+            module.main()
+
+    def test_missing_marker_fails_loudly(self, monkeypatch, tmp_path):
+        module, results, experiments = load_tool(monkeypatch, tmp_path)
+        (results / "fig2_hw_baseline.txt").write_text("T\n")
+        experiments.write_text("# no marker here\n")
+        with pytest.raises(SystemExit, match="Reference tables"):
+            module.main()
+
+    def test_real_experiments_file_has_marker(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        assert "## Reference tables" in text

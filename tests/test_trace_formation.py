@@ -1,0 +1,149 @@
+"""Tests for trace formation and the hot-trace representation."""
+
+import pytest
+
+from repro.config import TridentConfig
+from repro.isa.assembler import Assembler
+from repro.isa.opcodes import Opcode
+from repro.trident.trace_formation import form_trace
+
+
+def loop_program():
+    """A simple counted loop with one conditional inside."""
+    asm = Assembler("t")
+    asm.li("r1", 100)            # 0
+    asm.label("loop")            # head = 1
+    asm.ldq("r2", "r3", 0)       # 1
+    asm.beq("r2", "skip")        # 2
+    asm.addq("r4", "r4", imm=1)  # 3
+    asm.label("skip")            # 4
+    asm.subq("r1", "r1", imm=1)  # 4
+    asm.bne("r1", "loop")        # 5
+    asm.halt()                   # 6
+    return asm.build()
+
+
+class TestFormTrace:
+    def test_loop_trace_closes_at_head(self):
+        program = loop_program()
+        # Directions: beq not taken, back edge taken.
+        trace = form_trace(program, 1, [False, True], TridentConfig())
+        assert trace is not None
+        assert trace.head_pc == 1
+        assert trace.fallthrough_pc == 1  # loop closed
+        opcodes = [t.inst.opcode for t in trace.body]
+        assert opcodes == [
+            Opcode.LDQ, Opcode.BEQ, Opcode.ADDQ, Opcode.SUBQ, Opcode.BNE,
+        ]
+
+    def test_taken_inner_branch_skips_block(self):
+        program = loop_program()
+        trace = form_trace(program, 1, [True, True], TridentConfig())
+        opcodes = [t.inst.opcode for t in trace.body]
+        assert Opcode.ADDQ not in opcodes
+
+    def test_expected_directions_recorded(self):
+        program = loop_program()
+        trace = form_trace(program, 1, [False, True], TridentConfig())
+        branches = [t for t in trace.body if t.inst.is_conditional_branch]
+        assert [t.expected_taken for t in branches] == [False, True]
+
+    def test_bitmap_exhaustion_sets_fallthrough(self):
+        program = loop_program()
+        trace = form_trace(program, 1, [False], TridentConfig())
+        # Formation stopped at the back-edge bne (no direction left).
+        assert trace.fallthrough_pc == 5
+        assert trace.body[-1].inst.opcode is Opcode.SUBQ
+
+    def test_instructions_are_copies(self):
+        program = loop_program()
+        trace = form_trace(program, 1, [False, True], TridentConfig())
+        trace.body[0].inst.disp = 999
+        assert program.instructions[1].disp == 0
+
+    def test_halt_stops_formation(self):
+        asm = Assembler("t")
+        asm.label("head")
+        asm.addq("r1", "r1", imm=1)
+        asm.halt()
+        program = asm.build()
+        trace = form_trace(program, 0, [], TridentConfig())
+        assert trace is None  # single instruction: too short
+
+    def test_jmp_stops_formation(self):
+        asm = Assembler("t")
+        asm.label("head")
+        asm.addq("r1", "r1", imm=1)
+        asm.addq("r2", "r2", imm=1)
+        asm.jmp("r1")
+        asm.halt()
+        program = asm.build()
+        trace = form_trace(program, 0, [], TridentConfig())
+        assert trace is not None
+        assert len(trace.body) == 2
+        assert trace.fallthrough_pc == 2  # the JMP itself
+
+    def test_length_cap(self):
+        asm = Assembler("t")
+        asm.label("head")
+        for _ in range(600):
+            asm.addq("r1", "r1", imm=1)
+        asm.bne("r1", "head")
+        asm.halt()
+        program = asm.build()
+        config = TridentConfig()
+        trace = form_trace(program, 0, [True], config)
+        assert len(trace.body) == config.max_trace_instructions
+
+    def test_unconditional_br_streamlined_away(self):
+        asm = Assembler("t")
+        asm.label("head")           # 0
+        asm.addq("r1", "r1", imm=1)
+        asm.br("join")              # 2
+        asm.nop()                   # 3 (dead)
+        asm.label("join")
+        asm.subq("r2", "r2", imm=1)  # 4
+        asm.bne("r2", "head")
+        asm.halt()
+        program = asm.build()
+        trace = form_trace(program, 0, [True], TridentConfig())
+        opcodes = [t.inst.opcode for t in trace.body]
+        assert Opcode.BR not in opcodes
+        assert Opcode.NOP not in opcodes
+        assert Opcode.SUBQ in opcodes
+
+
+class TestHotTrace:
+    def test_load_pcs_and_find_load(self):
+        program = loop_program()
+        trace = form_trace(program, 1, [False, True], TridentConfig())
+        assert trace.load_pcs() == [1]
+        assert trace.find_load(1) is not None
+        assert trace.find_load(3) is None
+
+    def test_derive_bumps_version_and_copies_meta(self):
+        program = loop_program()
+        trace = form_trace(program, 1, [False, True], TridentConfig())
+        trace.meta["records"] = {"x": 1}
+        child = trace.derive(list(trace.body))
+        assert child.version == trace.version + 1
+        assert child.trace_id != trace.trace_id
+        assert child.head_pc == trace.head_pc
+        assert child.meta["records"] == {"x": 1}
+
+    def test_original_length_excludes_synthetic(self):
+        from repro.isa.instruction import Instruction
+        from repro.trident.trace import TraceInstruction
+
+        program = loop_program()
+        trace = form_trace(program, 1, [False, True], TridentConfig())
+        n = len(trace.body)
+        trace.body.append(
+            TraceInstruction(
+                inst=Instruction(Opcode.PREFETCH, ra=1, disp=0),
+                orig_pc=1,
+                synthetic=True,
+            )
+        )
+        assert trace.original_length == n
+        assert len(trace.prefetch_instructions()) == 1

@@ -1,0 +1,75 @@
+"""Tests for the watch table (trace performance monitoring)."""
+
+from repro.trident.watch_table import WatchTable
+
+
+class TestWatchTable:
+    def test_register_and_lookup(self):
+        wt = WatchTable(capacity=4)
+        entry = wt.register(1, head_pc=10, length=20)
+        assert entry.head_pc == 10
+        assert wt.lookup(1) is entry
+
+    def test_register_idempotent(self):
+        wt = WatchTable()
+        a = wt.register(1, 10, 20)
+        b = wt.register(1, 10, 20)
+        assert a is b
+        assert len(wt) == 1
+
+    def test_min_execution_time_tracks_completed_only(self):
+        wt = WatchTable()
+        wt.register(1, 10, 20)
+        wt.record_execution(1, 50.0, completed=True)
+        wt.record_execution(1, 5.0, completed=False)  # early exit: ignored
+        wt.record_execution(1, 30.0, completed=True)
+        assert wt.min_execution_time(1) == 30.0
+
+    def test_min_time_none_before_any_completion(self):
+        wt = WatchTable()
+        wt.register(1, 10, 20)
+        assert wt.min_execution_time(1) is None
+        wt.record_execution(1, 9.0, completed=False)
+        assert wt.min_execution_time(1) is None
+
+    def test_average_execution_time(self):
+        wt = WatchTable()
+        wt.register(1, 10, 20)
+        wt.record_execution(1, 10.0, True)
+        wt.record_execution(1, 30.0, True)
+        assert wt.lookup(1).average_execution_time() == 20.0
+
+    def test_optimization_flag(self):
+        wt = WatchTable()
+        wt.register(1, 10, 20)
+        assert not wt.is_optimizing(1)
+        wt.set_optimizing(1, True)
+        assert wt.is_optimizing(1)
+        wt.set_optimizing(1, False)
+        assert not wt.is_optimizing(1)
+
+    def test_unknown_trace_not_optimizing(self):
+        wt = WatchTable()
+        assert not wt.is_optimizing(99)
+
+    def test_lru_eviction(self):
+        wt = WatchTable(capacity=2)
+        wt.register(1, 10, 5)
+        wt.register(2, 20, 5)
+        wt.lookup(1)                 # touch 1
+        wt.register(3, 30, 5)        # evicts 2
+        assert wt.lookup(2) is None
+        assert wt.lookup(1) is not None
+        assert wt.evictions == 1
+
+    def test_remove(self):
+        wt = WatchTable()
+        wt.register(1, 10, 5)
+        wt.remove(1)
+        assert wt.lookup(1) is None
+        wt.remove(1)  # idempotent
+
+    def test_record_execution_unknown_trace_ignored(self):
+        wt = WatchTable()
+        wt.record_execution(42, 10.0, True)  # no crash
+        assert wt.min_execution_time(42) is None

@@ -1,0 +1,73 @@
+"""Functional smoke of each workload's program semantics (no timing).
+
+Executes a few thousand instructions of every workload through the bare
+functional executor (no caches, no Trident) and checks architectural
+sanity: the program stays within bounds, registers hold finite values,
+loads touch mapped-or-heap addresses, and control flow loops.
+"""
+
+import pytest
+
+from repro.cpu.context import ThreadContext
+from repro.cpu.executor import Executor
+from repro.isa.opcodes import Opcode
+from repro.memory.mainmem import HEAP_BASE
+from repro.workloads.registry import BENCHMARK_NAMES, load_workload
+
+
+def functional_run(workload, steps=4_000):
+    ctx = ThreadContext(entry=workload.program.entry)
+    executor = Executor(workload.memory)
+    program = workload.program
+    pcs = []
+    load_addresses = []
+    for _ in range(steps):
+        inst = program.fetch(ctx.pc)
+        res = executor.execute(inst, ctx)
+        pcs.append(ctx.pc)
+        if res.ea is not None and inst.is_load:
+            load_addresses.append(res.ea)
+        if ctx.halted:
+            break
+        if res.jump_target is not None:
+            ctx.pc = res.jump_target
+        elif res.taken is True:
+            ctx.pc = inst.target
+        else:
+            ctx.pc += 1
+    return ctx, pcs, load_addresses
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+class TestFunctionalSanity:
+    def test_runs_without_leaving_program(self, name):
+        workload = load_workload(name)
+        ctx, pcs, _loads = functional_run(workload)
+        assert not ctx.halted  # budgets never reach the huge outer counts
+        assert 0 <= max(pcs) < len(workload.program)
+
+    def test_loops(self, name):
+        workload = load_workload(name)
+        _ctx, pcs, _loads = functional_run(workload)
+        # Some PC repeats many times: a hot loop exists and executes.
+        from collections import Counter
+
+        most_common = Counter(pcs).most_common(1)[0][1]
+        assert most_common > 5
+
+    def test_loads_stay_on_heap(self, name):
+        workload = load_workload(name)
+        _ctx, _pcs, loads = functional_run(workload)
+        assert loads
+        assert all(addr >= HEAP_BASE for addr in loads)
+
+    def test_register_values_bounded(self, name):
+        workload = load_workload(name)
+        ctx, _pcs, _loads = functional_run(workload, steps=6_000)
+        for value in ctx.regs:
+            if isinstance(value, int):
+                assert -(2**63) <= value < 2**64
+            else:
+                import math
+
+                assert not math.isnan(value)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Rebuild EXPERIMENTS.md's reference tables from benchmarks/results/.
+
+Run after a bench pass::
+
+    pytest benchmarks/ --benchmark-only
+    python tools/update_experiments.py
+
+The section between the ``## Reference tables`` heading and the next
+``## `` heading is replaced with the current contents of the results
+directory, in figure order.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+#: Preferred table order (anything else is appended alphabetically).
+ORDER = [
+    "fig2_hw_baseline",
+    "fig3_overhead",
+    "fig4_coverage",
+    "fig5_policies",
+    "fig6_breakdown",
+    "fig7_threshold_sweep",
+    "fig8_dlt_sweep",
+    "fig9_sw_vs_hw",
+    "cache_equiv",
+    "ablation_initial_distance",
+    "ablation_grouping",
+    "ablation_confidence_penalty",
+    "ablation_repair_budget",
+    "ablation_phase_detection",
+    "ablation_markov",
+]
+
+
+def collect_tables() -> str:
+    files = {p.stem: p for p in RESULTS.glob("*.txt")}
+    if not files:
+        raise SystemExit(
+            "no results found; run `pytest benchmarks/ --benchmark-only`"
+        )
+    names = [n for n in ORDER if n in files]
+    names += sorted(set(files) - set(ORDER))
+    tables = [files[name].read_text().strip() for name in names]
+    return "\n\n".join(tables)
+
+
+def main() -> int:
+    text = EXPERIMENTS.read_text()
+    block = "## Reference tables\n\n```\n" + collect_tables() + "\n```\n"
+    pattern = re.compile(
+        r"## Reference tables\n+```\n.*?\n```\n", flags=re.S
+    )
+    if not pattern.search(text):
+        raise SystemExit("EXPERIMENTS.md has no '## Reference tables'")
+    EXPERIMENTS.write_text(pattern.sub(block, text, count=1))
+    print(f"EXPERIMENTS.md updated from {RESULTS}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
