@@ -1,0 +1,39 @@
+"""Resilience — chaos-testing the self-repair loop.
+
+Halfway through the measured budget every run takes a permanent
++250-cycle DRAM latency hit (a memory-system phase shift injected through
+the fault layer).  The claim under test is the motivation for section
+3.5.2's repair budget: the basic prefetcher tunes once and is stuck with
+a stale distance, while the self-repairing prefetcher re-opens mature
+records (phase detection) and climbs back — repairs resume after the
+fault and IPC recovers from the post-fault dip.
+"""
+
+from conftest import shapes_asserted, sweep_workloads
+
+from repro.harness.experiments import resilience
+
+
+def test_resilience(benchmark, report):
+    result = benchmark.pedantic(
+        resilience,
+        kwargs={"workloads": sweep_workloads()},
+        iterations=1,
+        rounds=1,
+    )
+    report("resilience", result.render())
+    assert not result.errors, result.errors
+    if not shapes_asserted():
+        return
+    basic_repairs = sum(r["basic"]["repairs_after"] for r in result.rows)
+    sr_repairs = sum(
+        r["self_repairing"]["repairs_after"] for r in result.rows
+    )
+    # The basic policy froze its distances before the fault; only the
+    # self-repairing policy fixes them afterwards and recovers more IPC.
+    assert basic_repairs == 0
+    assert sr_repairs > 0
+    assert (
+        result.mean_recovery("self_repairing")
+        > result.mean_recovery("basic")
+    )

@@ -31,6 +31,8 @@ from .config import (
     StreamBufferConfig,
     TridentConfig,
 )
+from .errors import ConfigError, ReproError, SimulationStallError
+from .faults import FaultEvent, FaultInjector, FaultPlan, Watchdog
 from .harness.runner import Simulation, SimulationResult, run_simulation
 from .workloads.registry import (
     BENCHMARK_NAMES,
@@ -38,19 +40,26 @@ from .workloads.registry import (
     load_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BENCHMARK_NAMES",
     "CacheConfig",
+    "ConfigError",
     "DLTConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "MachineConfig",
     "PrefetchPolicy",
+    "ReproError",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "SimulationStallError",
     "StreamBufferConfig",
     "TridentConfig",
+    "Watchdog",
     "all_workload_names",
     "load_workload",
     "run_simulation",

@@ -10,7 +10,9 @@ Examples::
 
     python -m repro list
     python -m repro run mcf --policy self_repairing --instructions 100000
+    python -m repro run mcf --inject plan.json --wall-time-limit 120
     python -m repro figure 5 --workloads mcf,art --instructions 80000
+    python -m repro figure resilience --workloads art,swim
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ import sys
 from typing import List, Optional
 
 from .config import PrefetchPolicy
+from .errors import ReproError
+from .faults.plan import FaultPlan
 from .harness import experiments
 from .harness.report import render_mapping
 from .harness.runner import run_simulation
@@ -35,6 +39,7 @@ _FIGURES = {
     "8": experiments.fig8_dlt_sweep,
     "9": experiments.fig9_sw_vs_hw,
     "cache": experiments.cache_equivalent_area,
+    "resilience": experiments.resilience,
 }
 
 
@@ -62,6 +67,37 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
+    )
+    run.add_argument(
+        "--inject",
+        metavar="FAULT_PLAN.json",
+        default=None,
+        help=(
+            "inject faults from a JSON fault plan mid-run "
+            "(see repro.faults.plan for the schema: DRAM latency "
+            "spikes, bus contention, cache flushes, DLT corruption, "
+            "helper-thread stalls ...)"
+        ),
+    )
+    run.add_argument(
+        "--wall-time-limit",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "watchdog: abort with SimulationStallError when the run "
+            "uses more than this much host wall time"
+        ),
+    )
+    run.add_argument(
+        "--max-cycles",
+        type=float,
+        metavar="CYCLES",
+        default=None,
+        help=(
+            "watchdog: abort with SimulationStallError past this many "
+            "simulated cycles"
+        ),
     )
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -112,12 +148,18 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    fault_plan = None
+    if args.inject:
+        fault_plan = FaultPlan.load(args.inject)
     result = run_simulation(
         args.workload,
         policy=PrefetchPolicy(args.policy),
         max_instructions=args.instructions,
         warmup_instructions=args.warmup,
         seed=args.seed,
+        fault_plan=fault_plan,
+        max_cycles=args.max_cycles,
+        wall_time_limit=args.wall_time_limit,
     )
     if args.json:
         import json
@@ -136,7 +178,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "distance repairs": result.repairs_applied,
         "helper active": f"{result.helper_active_fraction:.1%}",
     }
+    if fault_plan is not None:
+        summary["faults applied"] = result.faults_applied
     print(render_mapping("simulation result", summary))
+    if result.fault_log:
+        print()
+        print("fault log")
+        print("=========")
+        for entry in result.fault_log:
+            status = " (skipped)" if entry.get("skipped") else ""
+            label = f" [{entry['label']}]" if entry.get("label") else ""
+            detail = entry.get("detail", "")
+            print(
+                f"cycle {entry['cycle']:>10d}  inst {entry['instruction']:>9d}"
+                f"  {entry['kind']}{label}{status}  {detail}"
+            )
     print()
     print(render_mapping(
         "load outcomes",
@@ -256,17 +312,23 @@ def _cmd_claims(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "traces":
-        return _cmd_traces(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "claims":
-        return _cmd_claims(args)
-    return _cmd_figure(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "traces":
+            return _cmd_traces(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "claims":
+            return _cmd_claims(args)
+        return _cmd_figure(args)
+    except ReproError as exc:
+        # Structured errors are user errors or stalled runs, not bugs:
+        # report them cleanly instead of dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigError
 
 
 class PrefetchPolicy(enum.Enum):
@@ -286,7 +289,13 @@ class TridentConfig:
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Everything a single simulation run needs."""
+    """Everything a single simulation run needs.
+
+    Construction validates the run budgets and coerces a policy given as
+    its string value; invalid inputs raise
+    :class:`~repro.errors.ConfigError` here, at the surface, instead of a
+    deep-stack ``KeyError`` or a silent zero-cycle result later.
+    """
 
     machine: MachineConfig = field(default_factory=MachineConfig)
     trident: TridentConfig = field(default_factory=TridentConfig)
@@ -300,6 +309,58 @@ class SimulationConfig:
     overhead_only: bool = False
     #: RNG seed for workload data layout.
     seed: int = 1
+    #: Watchdog budgets (see repro.faults.watchdog): simulated-cycle and
+    #: host wall-time ceilings for the whole run, warmup included.  None
+    #: disables the ceiling; commit-stall detection is always armed.
+    max_cycles: Optional[float] = None
+    wall_time_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        policy = self.policy
+        if isinstance(policy, str):
+            try:
+                policy = PrefetchPolicy(policy)
+            except ValueError:
+                known = ", ".join(p.value for p in PrefetchPolicy)
+                raise ConfigError(
+                    f"unknown prefetch policy {self.policy!r}; known: {known}"
+                ) from None
+            object.__setattr__(self, "policy", policy)
+        elif not isinstance(policy, PrefetchPolicy):
+            raise ConfigError(
+                f"policy must be a PrefetchPolicy, got {policy!r}"
+            )
+        if not isinstance(self.machine, MachineConfig):
+            raise ConfigError(
+                f"machine must be a MachineConfig, got {self.machine!r}"
+            )
+        if not isinstance(self.trident, TridentConfig):
+            raise ConfigError(
+                f"trident must be a TridentConfig, got {self.trident!r}"
+            )
+        if not isinstance(self.max_instructions, int) or self.max_instructions <= 0:
+            raise ConfigError(
+                "max_instructions must be a positive integer, got "
+                f"{self.max_instructions!r}"
+            )
+        if (
+            not isinstance(self.warmup_instructions, int)
+            or self.warmup_instructions < 0
+        ):
+            raise ConfigError(
+                "warmup_instructions must be a non-negative integer, got "
+                f"{self.warmup_instructions!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ConfigError(f"seed must be an integer, got {self.seed!r}")
+        for name in ("max_cycles", "wall_time_limit"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ConfigError(
+                    f"{name} must be a positive number or None, got {value!r}"
+                )
 
     def replace(self, **kwargs) -> "SimulationConfig":
         return replace(self, **kwargs)

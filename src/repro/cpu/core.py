@@ -96,6 +96,11 @@ class SMTCore:
         self.hierarchy = hierarchy
         self.config = config
         self.runtime = runtime
+        #: Resilience hooks (repro.faults), injected by the Simulation:
+        #: a FaultInjector ticked every step, and a Watchdog checked every
+        #: ``watchdog.check_interval`` steps.  Both optional and duck-typed.
+        self.injector: Optional[object] = None
+        self.watchdog: Optional[object] = None
 
         self.ctx = ThreadContext(entry=program.entry)
         self.executor = Executor(memory)
@@ -222,9 +227,22 @@ class SMTCore:
     # Main loop.
     # ------------------------------------------------------------------
     def run(self, max_instructions: int) -> CoreStats:
-        """Run until ``max_instructions`` original instructions or HALT."""
+        """Run until ``max_instructions`` original instructions or HALT.
+
+        Raises :class:`~repro.errors.SimulationStallError` when an armed
+        watchdog sees a commit stall or an exhausted cycle or wall-time
+        budget.
+        """
         budget = max_instructions
-        while not self.ctx.halted and self.stats.committed < budget:
+        stats = self.stats
+        injector = self.injector
+        watchdog = self.watchdog
+        steps_until_check = 0
+        if watchdog is not None:
+            watchdog.start()
+            watchdog.reset_progress()
+            steps_until_check = watchdog.check_interval
+        while not self.ctx.halted and stats.committed < budget:
             if self._trace is not None:
                 self._step_trace()
             else:
@@ -232,6 +250,13 @@ class SMTCore:
             runtime = self.runtime
             if runtime is not None:
                 runtime.tick(self._issue_clock)
+            if injector is not None:
+                injector.tick(self._issue_clock, stats.committed)
+            if watchdog is not None:
+                steps_until_check -= 1
+                if steps_until_check <= 0:
+                    steps_until_check = watchdog.check_interval
+                    watchdog.check(stats.committed, self.cycles)
         self.hierarchy.drain(int(self.cycles) + 1)
         return self.stats
 

@@ -1,0 +1,47 @@
+"""Structured exception hierarchy for the reproduction.
+
+Every error the package raises deliberately derives from
+:class:`ReproError`, so harness code can catch "something went wrong in a
+simulation" without swallowing programming errors.  Each class carries a
+``transient`` flag: the experiment harness retries a failed workload once
+when its failure was transient (see
+:mod:`repro.harness.experiments`), and records it otherwise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error in the package."""
+
+    #: Whether a retry of the same run could plausibly succeed.
+    transient = False
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid (bad budget, unknown workload,
+    malformed fault plan).  Never transient: the same inputs will fail
+    the same way."""
+
+
+class SimulationStallError(ReproError, RuntimeError):
+    """The watchdog stopped a run that was no longer making progress —
+    commit stall, cycle-budget blowout, or wall-time exhaustion.
+
+    Marked transient: a wall-time trip depends on machine load, and a
+    cycle-budget trip may clear under the retry's fresh state; the
+    harness gives the workload one more chance before recording it.
+    """
+
+    transient = True
+
+    def __init__(
+        self,
+        message: str,
+        committed: int = 0,
+        cycles: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        #: Progress at the moment the watchdog tripped.
+        self.committed = committed
+        self.cycles = cycles

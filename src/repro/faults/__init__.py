@@ -1,0 +1,25 @@
+"""Fault injection and resilience machinery (chaos-testing the repro).
+
+The paper's headline claim is *self-repair*: the prefetcher re-converges
+when latency conditions shift.  This package provides the machinery to
+actually perturb a run mid-flight and watch the repair loop respond:
+
+* :mod:`repro.faults.plan` — declarative, JSON round-trippable
+  :class:`FaultPlan` / :class:`FaultEvent` schedules;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which applies a
+  plan to a live simulation through narrow component hooks;
+* :mod:`repro.faults.watchdog` — :class:`Watchdog`, the run-loop guard
+  that converts hangs into :class:`~repro.errors.SimulationStallError`.
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan
+from .watchdog import Watchdog
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "Watchdog",
+]

@@ -1,0 +1,286 @@
+"""Fault plans: the declarative half of the fault-injection subsystem.
+
+A :class:`FaultPlan` is a seeded, validated list of :class:`FaultEvent`
+perturbations applied to the simulated machine mid-run by the
+:class:`~repro.faults.injector.FaultInjector`.  Plans are pure data — JSON
+round-trippable, hashable, reusable across runs — so a chaos experiment is
+exactly reproducible: the same plan and seed perturb the same run the same
+way, bit for bit.
+
+Supported fault kinds (``FaultEvent.kind``):
+
+``dram_latency``
+    Add ``magnitude`` cycles to every DRAM-sourced fill.  With a duration
+    it is a contention spike; with ``duration_cycles=0`` it is a permanent
+    phase shift — the probe the resilience experiment uses against the
+    self-repair loop (section 3.5.2's re-adaptation claim).
+``bus_contention``
+    Multiply fill-bus occupancy by ``magnitude`` for the window.
+``cache_flush``
+    Instantly invalidate the first ``magnitude`` cache levels (1 = L1,
+    2 = L1+L2, 3 = all), emulating the cache footprint of a context
+    switch.
+``dlt_corrupt``
+    Scramble the stride/confidence state of a seeded ``magnitude``
+    fraction of live DLT entries (soft-error model).
+``dlt_evict``
+    Evict a seeded ``magnitude`` fraction of live DLT entries (an
+    eviction storm: monitoring state is lost, windows restart).
+``dlt_drop_events``
+    Discard every delinquent-load event fired during the window (the
+    event bus misbehaves; monitoring continues but the optimizer hears
+    nothing).
+``helper_stall``
+    The helper thread's context is descheduled for the window: its
+    in-flight job is delayed and no new job dispatches.
+``helper_fail``
+    Kill the helper's in-flight job (the optimization is lost; the
+    runtime recovers by clearing optimization flags so events can
+    re-fire).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: Every fault kind the injector implements.
+FAULT_KINDS = (
+    "dram_latency",
+    "bus_contention",
+    "cache_flush",
+    "dlt_corrupt",
+    "dlt_evict",
+    "dlt_drop_events",
+    "helper_stall",
+    "helper_fail",
+)
+
+#: Kinds that act over a window (duration required to matter) vs. at an
+#: instant.  ``dram_latency`` is special: duration 0 means "until the end
+#: of the run" (a phase shift), so it appears in neither set.
+_INSTANT_KINDS = ("cache_flush", "dlt_corrupt", "dlt_evict", "helper_fail")
+_WINDOW_KINDS = ("bus_contention", "dlt_drop_events", "helper_stall")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled perturbation.
+
+    Exactly one of ``at_cycle`` / ``at_instruction`` selects the trigger:
+    the event fires when the simulated cycle count, or the committed
+    main-thread instruction count, first reaches the threshold.
+    Durations are always in cycles.
+    """
+
+    kind: str
+    at_cycle: Optional[int] = None
+    at_instruction: Optional[int] = None
+    #: Window length in cycles; 0 = instant (or, for ``dram_latency``,
+    #: permanent).
+    duration_cycles: int = 0
+    #: Kind-specific strength: extra cycles (dram_latency), occupancy
+    #: multiplier (bus_contention), levels to flush (cache_flush),
+    #: fraction of entries (dlt_corrupt / dlt_evict); unused otherwise.
+    magnitude: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(FAULT_KINDS)}"
+            )
+        has_cycle = self.at_cycle is not None
+        has_inst = self.at_instruction is not None
+        if has_cycle == has_inst:
+            raise ConfigError(
+                f"fault {self.kind!r} needs exactly one of at_cycle / "
+                "at_instruction"
+            )
+        trigger = self.at_cycle if has_cycle else self.at_instruction
+        if not isinstance(trigger, int) or trigger < 0:
+            raise ConfigError(
+                f"fault {self.kind!r} trigger must be a non-negative "
+                f"integer, got {trigger!r}"
+            )
+        if not isinstance(self.duration_cycles, int) or self.duration_cycles < 0:
+            raise ConfigError(
+                f"fault {self.kind!r} duration_cycles must be a "
+                f"non-negative integer, got {self.duration_cycles!r}"
+            )
+        if self.kind in _WINDOW_KINDS and self.duration_cycles == 0:
+            raise ConfigError(
+                f"fault {self.kind!r} is a window fault and needs "
+                "duration_cycles > 0"
+            )
+        if self.kind in _INSTANT_KINDS and self.duration_cycles != 0:
+            raise ConfigError(
+                f"fault {self.kind!r} is instantaneous; duration_cycles "
+                "must be 0"
+            )
+        self._validate_magnitude()
+
+    def _validate_magnitude(self) -> None:
+        mag = self.magnitude
+        if not isinstance(mag, (int, float)):
+            raise ConfigError(
+                f"fault {self.kind!r} magnitude must be a number"
+            )
+        if self.kind == "dram_latency" and not (
+            float(mag).is_integer() and mag > 0
+        ):
+            raise ConfigError(
+                "dram_latency magnitude is extra cycles: a positive integer"
+            )
+        if self.kind == "bus_contention" and mag <= 0:
+            raise ConfigError("bus_contention magnitude must be > 0")
+        if self.kind == "cache_flush" and int(mag) not in (1, 2, 3):
+            raise ConfigError(
+                "cache_flush magnitude selects levels to flush: 1, 2 or 3"
+            )
+        if self.kind in ("dlt_corrupt", "dlt_evict") and not (
+            0.0 < mag <= 1.0
+        ):
+            raise ConfigError(
+                f"{self.kind} magnitude is a fraction in (0, 1]"
+            )
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"kind": self.kind}
+        if self.at_cycle is not None:
+            out["at_cycle"] = self.at_cycle
+        else:
+            out["at_instruction"] = self.at_instruction
+        if self.duration_cycles:
+            out["duration_cycles"] = self.duration_cycles
+        if self.magnitude != 1.0:
+            out["magnitude"] = self.magnitude
+        if self.label:
+            out["label"] = self.label
+        return out
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "FaultEvent":
+        if not isinstance(raw, dict):
+            raise ConfigError(f"fault event must be an object, got {raw!r}")
+        known = {
+            "kind", "at_cycle", "at_instruction", "duration_cycles",
+            "magnitude", "label",
+        }
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigError(
+                f"fault event has unknown keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        if "kind" not in raw:
+            raise ConfigError("fault event is missing 'kind'")
+        return FaultEvent(**raw)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, seeded schedule of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    #: Seeds the injector's private RNG (DLT corruption/eviction picks);
+    #: independent of the workload seed so the same plan perturbs
+    #: different workloads comparably.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigError(
+                    f"FaultPlan events must be FaultEvent, got {event!r}"
+                )
+        if not isinstance(self.seed, int):
+            raise ConfigError(f"FaultPlan seed must be an int, got {self.seed!r}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Serialisation.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise ConfigError(f"fault plan must be an object, got {raw!r}")
+        unknown = set(raw) - {"seed", "events"}
+        if unknown:
+            raise ConfigError(
+                f"fault plan has unknown keys {sorted(unknown)}"
+            )
+        events_raw = raw.get("events", [])
+        if not isinstance(events_raw, list):
+            raise ConfigError("fault plan 'events' must be a list")
+        events = tuple(FaultEvent.from_dict(e) for e in events_raw)
+        return FaultPlan(events=events, seed=raw.get("seed", 1))
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"fault plan is not valid JSON: {exc}") from None
+        return FaultPlan.from_dict(raw)
+
+    @staticmethod
+    def load(path) -> "FaultPlan":
+        """Read a plan from a JSON file (the CLI's ``--inject``)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read fault plan {path!r}: {exc}") from None
+        return FaultPlan.from_json(text)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for common chaos scenarios.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def latency_phase_shift(
+        at_instruction: int, extra_cycles: int = 250, seed: int = 1
+    ) -> "FaultPlan":
+        """A permanent DRAM latency increase at ``at_instruction`` — the
+        resilience experiment's probe of the self-repair loop."""
+        return FaultPlan(
+            events=(
+                FaultEvent(
+                    kind="dram_latency",
+                    at_instruction=at_instruction,
+                    magnitude=extra_cycles,
+                    label="phase-shift",
+                ),
+            ),
+            seed=seed,
+        )
+
+    @staticmethod
+    def context_switch_storm(
+        period_cycles: int, count: int, levels: int = 1, seed: int = 1
+    ) -> "FaultPlan":
+        """Periodic cache flushes emulating context switches."""
+        events = tuple(
+            FaultEvent(
+                kind="cache_flush",
+                at_cycle=period_cycles * (i + 1),
+                magnitude=levels,
+                label=f"context-switch-{i}",
+            )
+            for i in range(count)
+        )
+        return FaultPlan(events=events, seed=seed)

@@ -1,0 +1,87 @@
+"""Run-loop watchdog: turn hangs into :class:`SimulationStallError`.
+
+The core's dataflow model guarantees per-step progress for well-formed
+programs, but a crafted workload (an infinite loop with a huge instruction
+budget), a pathological configuration, or a future core bug can still spin
+a run far past any useful horizon.  The watchdog is checked from the core's
+run loop every :data:`CHECK_INTERVAL` steps and enforces three budgets:
+
+* **commit stall** — the committed-instruction count did not advance at
+  all between two checks (thousands of steps): something is re-executing
+  synthetic work forever;
+* **cycle budget** — the simulated clock passed ``max_cycles``;
+* **wall-time budget** — the host spent more than ``wall_time_limit``
+  seconds on the run (warmup included).
+
+All three raise :class:`~repro.errors.SimulationStallError` (transient, so
+the experiment harness retries once) carrying the progress made so far.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import SimulationStallError
+
+#: Core run-loop steps between watchdog checks.  Large enough to stay off
+#: the hot path, small enough that a wall-time trip is prompt.
+CHECK_INTERVAL = 2048
+
+
+class Watchdog:
+    """Progress monitor for one simulation (warmup + measurement)."""
+
+    check_interval = CHECK_INTERVAL
+
+    def __init__(
+        self,
+        max_cycles: Optional[float] = None,
+        wall_time_limit: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.max_cycles = max_cycles
+        self.wall_time_limit = wall_time_limit
+        self._clock = clock
+        self._deadline: Optional[float] = None
+        self._last_committed: Optional[int] = None
+        self.trips = 0
+
+    def start(self) -> None:
+        """Arm the wall-time deadline (idempotent: the first call wins, so
+        warmup and measurement share one budget)."""
+        if self.wall_time_limit is not None and self._deadline is None:
+            self._deadline = self._clock() + self.wall_time_limit
+
+    def reset_progress(self) -> None:
+        """Forget the commit baseline (call when a new run segment begins
+        so a segment boundary is never mistaken for a stall)."""
+        self._last_committed = None
+
+    def check(self, committed: int, cycles: float) -> None:
+        """Raise :class:`SimulationStallError` when a budget is exhausted."""
+        if self.max_cycles is not None and cycles > self.max_cycles:
+            self._trip(
+                f"cycle budget exhausted: {cycles:.0f} simulated cycles "
+                f"exceed max_cycles={self.max_cycles:.0f} "
+                f"({committed} instructions committed)",
+                committed, cycles,
+            )
+        if self._last_committed is not None and committed == self._last_committed:
+            self._trip(
+                f"commit stall: no instruction committed across "
+                f"{self.check_interval} core steps "
+                f"(stuck at {committed} instructions, {cycles:.0f} cycles)",
+                committed, cycles,
+            )
+        self._last_committed = committed
+        if self._deadline is not None and self._clock() > self._deadline:
+            self._trip(
+                f"wall-time limit of {self.wall_time_limit:.1f}s exhausted "
+                f"({committed} instructions, {cycles:.0f} cycles simulated)",
+                committed, cycles,
+            )
+
+    def _trip(self, message: str, committed: int, cycles: float) -> None:
+        self.trips += 1
+        raise SimulationStallError(message, committed=committed, cycles=cycles)

@@ -11,28 +11,75 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from ..config import (
     DLTConfig,
     MachineConfig,
     PrefetchPolicy,
+    SimulationConfig,
     StreamBufferConfig,
     TridentConfig,
 )
+from ..faults.plan import FaultPlan
 from ..workloads.registry import BENCHMARK_NAMES
 from .report import (
     arithmetic_mean,
     percent,
+    render_errors,
     render_table,
     speedup_percent,
 )
-from .runner import run_simulation
+from .runner import Simulation, run_simulation
 
 #: Environment knobs for the bench harness.
 ENV_INSTRUCTIONS = "REPRO_BENCH_INSTRUCTIONS"
 ENV_WARMUP = "REPRO_BENCH_WARMUP"
 ENV_WORKLOADS = "REPRO_BENCH_WORKLOADS"
+
+_T = TypeVar("_T")
+
+
+def _error_record(workload: str, exc: Exception, retried: bool) -> Dict:
+    record = {
+        "workload": workload,
+        "type": type(exc).__name__,
+        "error": str(exc),
+    }
+    if retried:
+        record["retried"] = True
+    return record
+
+
+def run_isolated(
+    errors: List[Dict], workload: str, fn: Callable[[], _T]
+) -> Optional[_T]:
+    """Run one workload's simulations with failure isolation.
+
+    A failing workload no longer aborts the whole figure sweep: the
+    exception becomes a record in ``errors`` (rendered under the result
+    table) and the caller gets None for that workload.  Transient errors
+    — a watchdog wall-time trip under host load, anything flagged
+    ``transient`` — earn exactly one retry before being recorded.
+    """
+    try:
+        return fn()
+    except Exception as exc:
+        if getattr(exc, "transient", False):
+            try:
+                return fn()
+            except Exception as retry_exc:
+                errors.append(_error_record(workload, retry_exc, retried=True))
+                return None
+        errors.append(_error_record(workload, exc, retried=False))
+        return None
+
+
+def _with_errors(table: str, errors: List[Dict]) -> str:
+    """Append the rendered error section to a result table."""
+    if not errors:
+        return table
+    return table + "\n\n" + render_errors(errors)
 
 
 def bench_instructions(default: int = 120_000) -> int:
@@ -62,6 +109,7 @@ def bench_workloads(default: Optional[Sequence[str]] = None) -> List[str]:
 @dataclass
 class Fig2Result:
     rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     @property
     def mean_speedup_4x4(self) -> float:
@@ -93,7 +141,7 @@ class Fig2Result:
                 speedup_percent(self.mean_speedup_8x8),
             )
         )
-        return render_table(
+        table = render_table(
             ["benchmark", "IPC none", "IPC 4x4", "IPC 8x8",
              "4x4 speedup", "8x8 speedup"],
             table_rows,
@@ -102,6 +150,7 @@ class Fig2Result:
                 "buffers (paper: +35% for 4x4, +40% for 8x8)"
             ),
         )
+        return _with_errors(table, self.errors)
 
 
 def fig2_hw_baseline(
@@ -114,22 +163,22 @@ def fig2_hw_baseline(
     warm = bench_warmup() if warmup is None else warmup
     result = Fig2Result()
     for name in names:
-        none = run_simulation(
-            name, policy=PrefetchPolicy.NONE, max_instructions=budget, warmup_instructions=warm
-        )
-        hw44 = run_simulation(
-            name,
-            policy=PrefetchPolicy.HW_ONLY,
-            machine=MachineConfig().with_stream_buffers(
-                StreamBufferConfig.paper_4x4()
-            ),
-            max_instructions=budget, warmup_instructions=warm,
-        )
-        hw88 = run_simulation(
-            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-        )
-        result.rows.append(
-            {
+        def one_workload(name: str = name) -> Dict:
+            none = run_simulation(
+                name, policy=PrefetchPolicy.NONE, max_instructions=budget, warmup_instructions=warm
+            )
+            hw44 = run_simulation(
+                name,
+                policy=PrefetchPolicy.HW_ONLY,
+                machine=MachineConfig().with_stream_buffers(
+                    StreamBufferConfig.paper_4x4()
+                ),
+                max_instructions=budget, warmup_instructions=warm,
+            )
+            hw88 = run_simulation(
+                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+            )
+            return {
                 "workload": name,
                 "ipc_none": none.ipc,
                 "ipc_4x4": hw44.ipc,
@@ -137,7 +186,10 @@ def fig2_hw_baseline(
                 "speedup_4x4": hw44.speedup_over(none),
                 "speedup_8x8": hw88.speedup_over(none),
             }
-        )
+
+        row = run_isolated(result.errors, name, one_workload)
+        if row is not None:
+            result.rows.append(row)
     return result
 
 
@@ -147,6 +199,7 @@ def fig2_hw_baseline(
 @dataclass
 class Fig3Result:
     rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     @property
     def mean_helper_active(self) -> float:
@@ -172,7 +225,7 @@ class Fig3Result:
                 percent(self.mean_overhead, 2),
             )
         )
-        return render_table(
+        table = render_table(
             ["benchmark", "helper active", "overhead-only slowdown"],
             table_rows,
             title=(
@@ -180,6 +233,7 @@ class Fig3Result:
                 "2.2% avg) and optimize-but-don't-link cost (paper: 0.6%)"
             ),
         )
+        return _with_errors(table, self.errors)
 
 
 def fig3_overhead(
@@ -192,28 +246,31 @@ def fig3_overhead(
     warm = bench_warmup() if warmup is None else warmup
     result = Fig3Result()
     for name in names:
-        base = run_simulation(
-            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-        )
-        overhead_run = run_simulation(
-            name,
-            policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
-            overhead_only=True,
-        )
-        full = run_simulation(
-            name,
-            policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
-        )
-        overhead = max(0.0, base.ipc / overhead_run.ipc - 1.0)
-        result.rows.append(
-            {
+        def one_workload(name: str = name) -> Dict:
+            base = run_simulation(
+                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+            )
+            overhead_run = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                max_instructions=budget, warmup_instructions=warm,
+                overhead_only=True,
+            )
+            full = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                max_instructions=budget, warmup_instructions=warm,
+            )
+            overhead = max(0.0, base.ipc / overhead_run.ipc - 1.0)
+            return {
                 "workload": name,
                 "helper_active": full.helper_active_fraction,
                 "overhead": overhead,
             }
-        )
+
+        row = run_isolated(result.errors, name, one_workload)
+        if row is not None:
+            result.rows.append(row)
     return result
 
 
@@ -223,6 +280,7 @@ def fig3_overhead(
 @dataclass
 class Fig4Result:
     rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     @property
     def mean_trace_coverage(self) -> float:
@@ -248,7 +306,7 @@ class Fig4Result:
                 percent(self.mean_prefetch_coverage),
             )
         )
-        return render_table(
+        table = render_table(
             ["benchmark", "misses in hot traces", "misses prefetchable"],
             table_rows,
             title=(
@@ -257,6 +315,7 @@ class Fig4Result:
                 "high-prefetchable)"
             ),
         )
+        return _with_errors(table, self.errors)
 
 
 def fig4_coverage(
@@ -274,29 +333,32 @@ def fig4_coverage(
         # prefetch erases the miss it covered, so the miss profile comes
         # from a monitoring-only run (traces linked, nothing inserted)
         # and the targeted-PC set from the self-repairing run.
-        baseline = run_simulation(
-            name, policy=PrefetchPolicy.TRACE_ONLY,
-            max_instructions=budget, warmup_instructions=warm,
-        )
-        run = run_simulation(
-            name,
-            policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
-        )
-        profile = baseline.miss_profile()
-        total = sum(profile.values())
-        targeted = sum(
-            count
-            for pc, count in profile.items()
-            if pc in run.targeted_load_pcs
-        )
-        result.rows.append(
-            {
+        def one_workload(name: str = name) -> Dict:
+            baseline = run_simulation(
+                name, policy=PrefetchPolicy.TRACE_ONLY,
+                max_instructions=budget, warmup_instructions=warm,
+            )
+            run = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                max_instructions=budget, warmup_instructions=warm,
+            )
+            profile = baseline.miss_profile()
+            total = sum(profile.values())
+            targeted = sum(
+                count
+                for pc, count in profile.items()
+                if pc in run.targeted_load_pcs
+            )
+            return {
                 "workload": name,
                 "trace_coverage": baseline.miss_trace_coverage,
                 "prefetch_coverage": targeted / total if total else 0.0,
             }
-        )
+
+        row = run_isolated(result.errors, name, one_workload)
+        if row is not None:
+            result.rows.append(row)
     return result
 
 
@@ -306,6 +368,7 @@ def fig4_coverage(
 @dataclass
 class Fig5Result:
     rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     def mean_speedup(self, key: str) -> float:
         return arithmetic_mean([r[key] for r in self.rows])
@@ -353,7 +416,7 @@ class Fig5Result:
             ],
             series=["basic", "self-repairing"],
         )
-        return table + "\n\n" + chart
+        return _with_errors(table + "\n\n" + chart, self.errors)
 
 
 def fig5_policies(
@@ -366,18 +429,23 @@ def fig5_policies(
     warm = bench_warmup() if warmup is None else warmup
     result = Fig5Result()
     for name in names:
-        baseline = run_simulation(
-            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-        )
-        row = {"workload": name}
-        for key, policy in (
-            ("basic", PrefetchPolicy.BASIC),
-            ("whole_object", PrefetchPolicy.WHOLE_OBJECT),
-            ("self_repairing", PrefetchPolicy.SELF_REPAIRING),
-        ):
-            run = run_simulation(name, policy=policy, max_instructions=budget, warmup_instructions=warm)
-            row[key] = run.speedup_over(baseline)
-        result.rows.append(row)
+        def one_workload(name: str = name) -> Dict:
+            baseline = run_simulation(
+                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+            )
+            row = {"workload": name}
+            for key, policy in (
+                ("basic", PrefetchPolicy.BASIC),
+                ("whole_object", PrefetchPolicy.WHOLE_OBJECT),
+                ("self_repairing", PrefetchPolicy.SELF_REPAIRING),
+            ):
+                run = run_simulation(name, policy=policy, max_instructions=budget, warmup_instructions=warm)
+                row[key] = run.speedup_over(baseline)
+            return row
+
+        row = run_isolated(result.errors, name, one_workload)
+        if row is not None:
+            result.rows.append(row)
     return result
 
 
@@ -387,6 +455,7 @@ def fig5_policies(
 @dataclass
 class Fig6Result:
     rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     def render(self) -> str:
         table_rows = [
@@ -400,7 +469,7 @@ class Fig6Result:
             )
             for r in self.rows
         ]
-        return render_table(
+        table = render_table(
             ["benchmark", "hits", "hit-prefetched", "partial hits",
              "misses", "miss-due-to-prefetch"],
             table_rows,
@@ -409,6 +478,7 @@ class Fig6Result:
                 "hits and prefetch-caused misses are both rare)"
             ),
         )
+        return _with_errors(table, self.errors)
 
 
 def fig6_breakdown(
@@ -421,14 +491,19 @@ def fig6_breakdown(
     warm = bench_warmup() if warmup is None else warmup
     result = Fig6Result()
     for name in names:
-        run = run_simulation(
-            name,
-            policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
-        )
-        row = {"workload": name}
-        row.update(run.breakdown())
-        result.rows.append(row)
+        def one_workload(name: str = name) -> Dict:
+            run = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                max_instructions=budget, warmup_instructions=warm,
+            )
+            row = {"workload": name}
+            row.update(run.breakdown())
+            return row
+
+        row = run_isolated(result.errors, name, one_workload)
+        if row is not None:
+            result.rows.append(row)
     return result
 
 
@@ -441,6 +516,7 @@ class Fig7Result:
     grid: Dict = field(default_factory=dict)
     windows: List[int] = field(default_factory=list)
     rates: List[float] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     def render(self) -> str:
         headers = ["window \\ rate"] + [percent(r, 0) for r in self.rates]
@@ -450,7 +526,7 @@ class Fig7Result:
             for rate in self.rates:
                 row.append(speedup_percent(self.grid[(window, rate)]))
             table_rows.append(row)
-        return render_table(
+        table = render_table(
             headers,
             table_rows,
             title=(
@@ -458,6 +534,7 @@ class Fig7Result:
                 "window and miss-rate threshold (paper: 3% at 256 best)"
             ),
         )
+        return _with_errors(table, self.errors)
 
 
 def fig7_threshold_sweep(
@@ -471,23 +548,41 @@ def fig7_threshold_sweep(
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig7Result(windows=list(windows), rates=list(rates))
-    baselines = {
-        name: run_simulation(
-            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+    baselines = {}
+    for name in names:
+        base = run_isolated(
+            result.errors,
+            name,
+            lambda name=name: run_simulation(
+                name, policy=PrefetchPolicy.HW_ONLY,
+                max_instructions=budget, warmup_instructions=warm,
+            ),
         )
-        for name in names
-    }
+        if base is not None:
+            baselines[name] = base
+    # A workload failing mid-sweep is recorded once and excluded from
+    # the remaining grid cells instead of failing them all over again.
+    failed: set = set()
     for window in windows:
         for rate in rates:
             dlt = DLTConfig().with_window(window).with_miss_rate(rate)
             speedups = []
-            for name in names:
-                run = run_simulation(
+            for name in baselines:
+                if name in failed:
+                    continue
+                run = run_isolated(
+                    result.errors,
                     name,
-                    policy=PrefetchPolicy.SELF_REPAIRING,
-                    trident=TridentConfig().with_dlt(dlt),
-                    max_instructions=budget, warmup_instructions=warm,
+                    lambda name=name: run_simulation(
+                        name,
+                        policy=PrefetchPolicy.SELF_REPAIRING,
+                        trident=TridentConfig().with_dlt(dlt),
+                        max_instructions=budget, warmup_instructions=warm,
+                    ),
                 )
+                if run is None:
+                    failed.add(name)
+                    continue
                 speedups.append(run.speedup_over(baselines[name]))
             result.grid[(window, rate)] = arithmetic_mean(speedups)
     return result
@@ -502,6 +597,7 @@ class Fig8Result:
     by_size: Dict[int, Dict[str, float]] = field(default_factory=dict)
     sizes: List[int] = field(default_factory=list)
     spotlight: List[str] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     def render(self) -> str:
         headers = ["DLT entries", "mean"] + list(self.spotlight)
@@ -512,7 +608,7 @@ class Fig8Result:
                 value = self.by_size[size].get(name)
                 row.append("" if value is None else speedup_percent(value))
             table_rows.append(row)
-        return render_table(
+        table = render_table(
             headers,
             table_rows,
             title=(
@@ -520,6 +616,7 @@ class Fig8Result:
                 "mostly flat; dot and parser want bigger tables)"
             ),
         )
+        return _with_errors(table, self.errors)
 
 
 def fig8_dlt_sweep(
@@ -536,22 +633,38 @@ def fig8_dlt_sweep(
         sizes=list(sizes),
         spotlight=[s for s in spotlight if s in names],
     )
-    baselines = {
-        name: run_simulation(
-            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+    baselines = {}
+    for name in names:
+        base = run_isolated(
+            result.errors,
+            name,
+            lambda name=name: run_simulation(
+                name, policy=PrefetchPolicy.HW_ONLY,
+                max_instructions=budget, warmup_instructions=warm,
+            ),
         )
-        for name in names
-    }
+        if base is not None:
+            baselines[name] = base
+    failed: set = set()
     for size in sizes:
         dlt = DLTConfig().with_entries(size)
         per: Dict[str, float] = {}
-        for name in names:
-            run = run_simulation(
+        for name in baselines:
+            if name in failed:
+                continue
+            run = run_isolated(
+                result.errors,
                 name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
-                trident=TridentConfig().with_dlt(dlt),
-                max_instructions=budget, warmup_instructions=warm,
+                lambda name=name: run_simulation(
+                    name,
+                    policy=PrefetchPolicy.SELF_REPAIRING,
+                    trident=TridentConfig().with_dlt(dlt),
+                    max_instructions=budget, warmup_instructions=warm,
+                ),
             )
+            if run is None:
+                failed.add(name)
+                continue
             per[name] = run.speedup_over(baselines[name])
         per["mean"] = arithmetic_mean(
             [v for k, v in per.items() if k != "mean"]
@@ -566,6 +679,7 @@ def fig8_dlt_sweep(
 @dataclass
 class Fig9Result:
     rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     def mean_speedup(self, key: str) -> float:
         return arithmetic_mean([r[key] for r in self.rows])
@@ -610,7 +724,7 @@ class Fig9Result:
             ],
             series=["hw", "sw"],
         )
-        return table + "\n\n" + chart
+        return _with_errors(table + "\n\n" + chart, self.errors)
 
 
 def fig9_sw_vs_hw(
@@ -623,28 +737,31 @@ def fig9_sw_vs_hw(
     warm = bench_warmup() if warmup is None else warmup
     result = Fig9Result()
     for name in names:
-        none = run_simulation(
-            name, policy=PrefetchPolicy.NONE, max_instructions=budget, warmup_instructions=warm
-        )
-        hw = run_simulation(
-            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-        )
-        sw = run_simulation(
-            name, policy=PrefetchPolicy.SW_ONLY, max_instructions=budget, warmup_instructions=warm
-        )
-        combined = run_simulation(
-            name,
-            policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
-        )
-        result.rows.append(
-            {
+        def one_workload(name: str = name) -> Dict:
+            none = run_simulation(
+                name, policy=PrefetchPolicy.NONE, max_instructions=budget, warmup_instructions=warm
+            )
+            hw = run_simulation(
+                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+            )
+            sw = run_simulation(
+                name, policy=PrefetchPolicy.SW_ONLY, max_instructions=budget, warmup_instructions=warm
+            )
+            combined = run_simulation(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                max_instructions=budget, warmup_instructions=warm,
+            )
+            return {
                 "workload": name,
                 "hw_only": hw.speedup_over(none),
                 "sw_only": sw.speedup_over(none),
                 "combined": combined.speedup_over(none),
             }
-        )
+
+        row = run_isolated(result.errors, name, one_workload)
+        if row is not None:
+            result.rows.append(row)
     return result
 
 
@@ -654,6 +771,7 @@ def fig9_sw_vs_hw(
 @dataclass
 class CacheEquivResult:
     rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
 
     @property
     def mean_speedup(self) -> float:
@@ -665,7 +783,7 @@ class CacheEquivResult:
             for r in self.rows
         ]
         table_rows.append(("average", speedup_percent(self.mean_speedup)))
-        return render_table(
+        table = render_table(
             ["benchmark", "bigger-L1 speedup"],
             table_rows,
             title=(
@@ -673,6 +791,7 @@ class CacheEquivResult:
                 "instead (paper: merely +0.8%)"
             ),
         )
+        return _with_errors(table, self.errors)
 
 
 def cache_equivalent_area(
@@ -688,16 +807,208 @@ def cache_equivalent_area(
     result = CacheEquivResult()
     bigger = MachineConfig().with_l1_size(88 * 1024)
     for name in names:
-        base = run_simulation(
-            name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+        def one_workload(name: str = name) -> Dict:
+            base = run_simulation(
+                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
+            )
+            big = run_simulation(
+                name,
+                policy=PrefetchPolicy.HW_ONLY,
+                machine=bigger,
+                max_instructions=budget, warmup_instructions=warm,
+            )
+            return {"workload": name, "speedup": big.speedup_over(base)}
+
+        row = run_isolated(result.errors, name, one_workload)
+        if row is not None:
+            result.rows.append(row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Resilience — recovery after an injected DRAM latency phase shift.
+# ---------------------------------------------------------------------------
+@dataclass
+class ResilienceResult:
+    """Windows-to-reconverge and IPC loss after a mid-run fault.
+
+    Halfway through the measured budget a permanent DRAM latency increase
+    is injected (a memory-system phase shift).  The self-repairing policy
+    — with the section-3.5.2 phase detector clearing mature flags — should
+    resume repairing and climb back; the basic policy tuned once and
+    cannot.
+    """
+
+    #: Measured chunks per run; the fault lands at the halfway boundary.
+    chunks: int = 8
+    extra_cycles: int = 250
+    rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
+
+    def mean_recovery(self, key: str) -> float:
+        return arithmetic_mean([r[key]["recovery"] for r in self.rows])
+
+    def render(self) -> str:
+        table_rows = []
+        for r in self.rows:
+            for key, label in (
+                ("basic", "basic"),
+                ("self_repairing", "self-repairing"),
+            ):
+                m = r[key]
+                reconverge = m["windows_to_reconverge"]
+                table_rows.append(
+                    (
+                        r["workload"],
+                        label,
+                        f"{m['pre_ipc']:.3f}",
+                        f"{m['dip_ipc']:.3f}",
+                        f"{m['final_ipc']:.3f}",
+                        f"{m['recovery']:.3f}x",
+                        str(m["repairs_after"]),
+                        "-" if reconverge is None else str(reconverge),
+                    )
+                )
+        table_rows.append(
+            (
+                "average",
+                "basic",
+                "", "", "",
+                f"{self.mean_recovery('basic'):.3f}x",
+                "", "",
+            )
         )
-        big = run_simulation(
-            name,
-            policy=PrefetchPolicy.HW_ONLY,
-            machine=bigger,
-            max_instructions=budget, warmup_instructions=warm,
+        table_rows.append(
+            (
+                "average",
+                "self-repairing",
+                "", "", "",
+                f"{self.mean_recovery('self_repairing'):.3f}x",
+                "", "",
+            )
         )
-        result.rows.append(
-            {"workload": name, "speedup": big.speedup_over(base)}
+        table = render_table(
+            ["benchmark", "policy", "pre IPC", "dip IPC", "final IPC",
+             "recovery", "repairs after", "reconverged by"],
+            table_rows,
+            title=(
+                "Resilience: +%d-cycle DRAM phase shift at mid-run "
+                "(recovery = final IPC / first post-fault chunk IPC; "
+                "section 3.5.2's repair budget in action)"
+                % self.extra_cycles
+            ),
         )
+        return _with_errors(table, self.errors)
+
+
+def _resilience_one_policy(
+    name: str,
+    policy: PrefetchPolicy,
+    budget: int,
+    warm: int,
+    chunks: int,
+    extra_cycles: int,
+    seed: int,
+) -> Dict:
+    """Run one workload/policy pair in IPC chunks around an injected
+    permanent DRAM latency increase at the halfway chunk boundary."""
+    chunk = max(1, budget // chunks)
+    fault_at = warm + chunk * (chunks // 2)
+    plan = FaultPlan.latency_phase_shift(
+        at_instruction=fault_at, extra_cycles=extra_cycles, seed=seed
+    )
+    config = SimulationConfig(
+        policy=policy,
+        trident=TridentConfig(phase_detection=True),
+        max_instructions=chunk * chunks,
+        warmup_instructions=warm,
+        seed=seed,
+    )
+    sim = Simulation(name, config, fault_plan=plan)
+    core = sim.core
+
+    def repairs() -> int:
+        if sim.runtime is None:
+            return 0
+        return sim.runtime.optimizer.stats.repairs_applied
+
+    if warm:
+        core.run(warm)
+        core.stats.reset_measurement()
+    prev_committed, prev_cycles = core.snapshot()
+    prev_repairs = repairs()
+    windows: List[Dict] = []
+    for i in range(chunks):
+        core.run(warm + chunk * (i + 1))
+        committed, cycles = core.snapshot()
+        now_repairs = repairs()
+        d_inst = committed - prev_committed
+        d_cyc = cycles - prev_cycles
+        windows.append(
+            {
+                "ipc": d_inst / d_cyc if d_cyc else 0.0,
+                "repairs": now_repairs - prev_repairs,
+            }
+        )
+        prev_committed, prev_cycles = committed, cycles
+        prev_repairs = now_repairs
+    if sim.injector is not None:
+        sim.injector.finish(core.cycles)
+
+    half = chunks // 2
+    pre, post = windows[:half], windows[half:]
+    pre_ipc = arithmetic_mean([w["ipc"] for w in pre])
+    dip_ipc = post[0]["ipc"]
+    final_ipc = post[-1]["ipc"]
+    reconverge = None
+    for i, w in enumerate(post):
+        if w["repairs"] > 0:
+            reconverge = i + 1
+    return {
+        "windows": windows,
+        "pre_ipc": pre_ipc,
+        "dip_ipc": dip_ipc,
+        "final_ipc": final_ipc,
+        "recovery": final_ipc / dip_ipc if dip_ipc else 0.0,
+        "repairs_before": sum(w["repairs"] for w in pre),
+        "repairs_after": sum(w["repairs"] for w in post),
+        "windows_to_reconverge": reconverge,
+    }
+
+
+def resilience(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    chunks: int = 8,
+    extra_cycles: int = 250,
+    seed: int = 1,
+) -> ResilienceResult:
+    """Chaos-test the self-repair loop: inject a permanent DRAM latency
+    increase mid-run and compare how BASIC and SELF_REPAIRING reconverge.
+
+    Both policies run with phase detection enabled so mature records are
+    re-opened after the shift; only the self-repairing policy is allowed
+    to re-tune distances, mirroring the paper's static-vs-repairing
+    comparison under a changed memory system.
+    """
+    names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    result = ResilienceResult(chunks=chunks, extra_cycles=extra_cycles)
+    for name in names:
+        def one_workload(name: str = name) -> Dict:
+            row = {"workload": name}
+            for key, policy in (
+                ("basic", PrefetchPolicy.BASIC),
+                ("self_repairing", PrefetchPolicy.SELF_REPAIRING),
+            ):
+                row[key] = _resilience_one_policy(
+                    name, policy, budget, warm, chunks, extra_cycles, seed
+                )
+            return row
+
+        row = run_isolated(result.errors, name, one_workload)
+        if row is not None:
+            result.rows.append(row)
     return result

@@ -77,6 +77,26 @@ def render_table(
     return "\n".join(out)
 
 
+def render_errors(errors: Sequence[Dict]) -> str:
+    """Render an experiment's per-workload error records (empty string
+    when the sweep was clean)."""
+    if not errors:
+        return ""
+    lines = [
+        f"errors ({len(errors)} workload failure"
+        f"{'s' if len(errors) != 1 else ''} isolated; rows above are the "
+        "survivors)",
+    ]
+    lines.append("-" * len(lines[0]))
+    for record in errors:
+        retried = " (failed again after one retry)" if record.get("retried") else ""
+        lines.append(
+            f"  {record['workload']}: {record['type']}: "
+            f"{record['error']}{retried}"
+        )
+    return "\n".join(lines)
+
+
 def render_mapping(title: str, mapping: Dict[str, Cell]) -> str:
     """Render a simple key/value block."""
     width = max((len(k) for k in mapping), default=0)

@@ -20,12 +20,16 @@ from ..config import (
     TridentConfig,
 )
 from ..cpu.core import CoreStats, SMTCore
+from ..errors import ConfigError
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.watchdog import Watchdog
 from ..hwprefetch.stream_buffer import StreamBufferPrefetcher
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.stats import MemoryStats
 from ..trident.runtime import TridentRuntime
 from ..workloads.base import Workload
-from ..workloads.registry import load_workload
+from ..workloads.registry import BENCHMARK_NAMES, load_workload
 
 
 @dataclass
@@ -48,6 +52,10 @@ class SimulationResult:
     pointer_prefetches_inserted: int = 0
     repairs_applied: int = 0
     loads_matured: int = 0
+    #: Fault-injection record (empty without a fault plan): events applied
+    #: and the injector's chronological log.
+    faults_applied: int = 0
+    fault_log: tuple = ()
     #: Fraction of all demand-load misses that occurred inside hot traces
     #: and fraction attributable to prefetch-targeted loads (Figure 4).
     miss_trace_coverage: float = 0.0
@@ -97,6 +105,8 @@ class SimulationResult:
             "branch_mispredicts": self.core.branch_mispredicts,
             "loads_executed": self.core.loads_executed,
             "misses_total": self.core.misses_total,
+            "faults_applied": self.faults_applied,
+            "fault_log": [dict(entry) for entry in self.fault_log],
         }
 
 
@@ -108,10 +118,21 @@ class Simulation:
         workload: Union[str, Workload],
         config: Optional[SimulationConfig] = None,
         initial_distance_mode: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         if isinstance(workload, str):
-            workload = load_workload(workload, seed=self.config.seed)
+            try:
+                workload = load_workload(workload, seed=self.config.seed)
+            except KeyError:
+                raise ConfigError(
+                    f"unknown workload {workload!r}; known: "
+                    + ", ".join(BENCHMARK_NAMES)
+                ) from None
+        elif not isinstance(workload, Workload):
+            raise ConfigError(
+                f"workload must be a name or a Workload, got {workload!r}"
+            )
         self.workload = workload
 
         machine = self.config.machine
@@ -144,6 +165,26 @@ class Simulation:
             runtime=self.runtime,
         )
 
+        # Resilience layer: commit-stall detection is always armed (it is
+        # nearly free and only pathological runs ever trip it); cycle and
+        # wall-time ceilings come from the config.  A fault plan arms the
+        # injector against this run's components.
+        self.watchdog = Watchdog(
+            max_cycles=self.config.max_cycles,
+            wall_time_limit=self.config.wall_time_limit,
+        )
+        self.core.watchdog = self.watchdog
+        self.injector: Optional[FaultInjector] = None
+        if fault_plan is not None:
+            if not isinstance(fault_plan, FaultPlan):
+                raise ConfigError(
+                    f"fault_plan must be a FaultPlan, got {fault_plan!r}"
+                )
+            self.injector = FaultInjector(
+                fault_plan, hierarchy=self.hierarchy, runtime=self.runtime
+            )
+            self.core.injector = self.injector
+
     def run(self) -> SimulationResult:
         """Execute the configured instruction budget and collect results."""
         cfg = self.config
@@ -158,6 +199,8 @@ class Simulation:
             self.hierarchy.stats = MemoryStats()
         self.core.run(cfg.warmup_instructions + cfg.max_instructions)
         committed, cycles = self.core.snapshot()
+        if self.injector is not None:
+            self.injector.finish(cycles)
         stats = self.core.stats
 
         result = SimulationResult(
@@ -168,6 +211,9 @@ class Simulation:
             core=stats,
             memory=self.hierarchy.stats,
         )
+        if self.injector is not None:
+            result.faults_applied = self.injector.faults_applied
+            result.fault_log = tuple(self.injector.log)
         if stats.misses_total:
             result.miss_trace_coverage = (
                 stats.misses_in_traces / stats.misses_total
@@ -214,8 +260,16 @@ def run_simulation(
     overhead_only: bool = False,
     seed: int = 1,
     initial_distance_mode: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_cycles: Optional[float] = None,
+    wall_time_limit: Optional[float] = None,
 ) -> SimulationResult:
-    """Convenience one-call simulation (the quickstart entry point)."""
+    """Convenience one-call simulation (the quickstart entry point).
+
+    Raises :class:`~repro.errors.ConfigError` on invalid inputs and
+    :class:`~repro.errors.SimulationStallError` when a watchdog budget
+    (``max_cycles`` / ``wall_time_limit``) is exhausted mid-run.
+    """
     config = SimulationConfig(
         machine=machine or MachineConfig(),
         trident=trident or TridentConfig(),
@@ -224,7 +278,12 @@ def run_simulation(
         warmup_instructions=warmup_instructions,
         overhead_only=overhead_only,
         seed=seed,
+        max_cycles=max_cycles,
+        wall_time_limit=wall_time_limit,
     )
     return Simulation(
-        workload, config, initial_distance_mode=initial_distance_mode
+        workload,
+        config,
+        initial_distance_mode=initial_distance_mode,
+        fault_plan=fault_plan,
     ).run()

@@ -116,6 +116,16 @@ class SetAssociativeCache:
         )
         return victim_block
 
+    def flush(self) -> int:
+        """Drop every resident line (context-switch / fault injection);
+        returns how many lines were dropped.  Statistics survive; the
+        prefetch-displacement log does not (its tags are meaningless once
+        the whole cache has turned over)."""
+        dropped = self.resident_blocks
+        self._sets.clear()
+        self._displaced_by_prefetch.clear()
+        return dropped
+
     def invalidate(self, addr: int) -> bool:
         """Drop the block containing ``addr``; True if it was present."""
         block = self.block_of(addr)

@@ -72,6 +72,14 @@ class MemoryHierarchy:
         self._pending_heap: List[Tuple[int, int]] = []
         self._bus_free = 0
 
+        # Fault-injection hooks (see repro.faults.injector): extra cycles
+        # charged to every DRAM-sourced fill, and a multiplier on fill-bus
+        # occupancy.  Both are neutral by default and only ever set by a
+        # FaultInjector.
+        self.dram_latency_extra = 0
+        self.bus_occupancy_scale = 1.0
+        self.lines_flushed = 0
+
     # ------------------------------------------------------------------
     # Fill plumbing.
     # ------------------------------------------------------------------
@@ -87,7 +95,7 @@ class MemoryHierarchy:
             return self.config.l2.latency
         if self.l3.contains(addr):
             return self.config.l3.latency
-        return self.config.memory_latency
+        return self.config.memory_latency + self.dram_latency_extra
 
     def start_fill(
         self,
@@ -113,7 +121,10 @@ class MemoryHierarchy:
         # (Table 1's bus occupancy); on-chip L2/L3 transfers do not.
         if latency >= self.config.memory_latency:
             issue = max(cycle, self._bus_free)
-            self._bus_free = issue + self.config.bus_transfer_cycles
+            occupancy = self.config.bus_transfer_cycles
+            if self.bus_occupancy_scale != 1.0:
+                occupancy = max(1, round(occupancy * self.bus_occupancy_scale))
+            self._bus_free = issue + occupancy
         else:
             issue = cycle
         fill = _PendingFill(block, issue + latency, prefetched, source)
@@ -153,6 +164,21 @@ class MemoryHierarchy:
     @property
     def outstanding_fills(self) -> int:
         return len(self._pending)
+
+    def flush_caches(self, levels: Tuple[str, ...] = ("l1", "l2", "l3")) -> int:
+        """Invalidate every line in the named levels (fault injection's
+        context-switch model); returns the number of lines dropped.
+
+        In-flight fills are untouched — they were requested before the
+        switch and still install when their data arrives.
+        """
+        flushed = 0
+        for name in levels:
+            if name not in ("l1", "l2", "l3"):
+                raise ValueError(f"unknown cache level {name!r}")
+            flushed += getattr(self, name).flush()
+        self.lines_flushed += flushed
+        return flushed
 
     # ------------------------------------------------------------------
     # Demand accesses.

@@ -178,6 +178,16 @@ class DelinquentLoadTable:
             self._reset_window(entry)
             entry.event_pending = False
 
+    def evict(self, pc: int) -> bool:
+        """Forcibly evict a load's entry (fault injection's eviction
+        storm); True when an entry was dropped.  Indistinguishable from a
+        capacity eviction: monitoring state and the mature flag are lost."""
+        bucket = self._bucket(pc)
+        if bucket.pop(pc, None) is None:
+            return False
+        self.evictions += 1
+        return True
+
     def set_mature(self, pc: int) -> None:
         entry = self.lookup(pc)
         if entry is not None:

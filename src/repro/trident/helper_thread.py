@@ -57,10 +57,48 @@ class HelperThread:
         self.total_busy_cycles: float = 0.0
         self.jobs_run = 0
         self.jobs_by_kind: dict = {}
+        # Fault-injection state (repro.faults): while stalled the helper
+        # context is descheduled — the in-flight job is pushed back and no
+        # new job dispatches.
+        self.stalled_until: float = 0.0
+        self.stalls = 0
+        self.jobs_failed = 0
 
     @property
     def idle(self) -> bool:
         return self._job is None
+
+    def available(self, cycle: float) -> bool:
+        """True when a new job may dispatch at ``cycle``."""
+        return self._job is None and cycle >= self.stalled_until
+
+    def stall(self, cycle: float, duration: float) -> None:
+        """Fault hook: deschedule the helper for ``duration`` cycles.
+
+        An in-flight job resumes where it left off once the context comes
+        back (its completion slips by the stall), and the extra occupancy
+        is charged to the Figure-3 account.
+        """
+        self.stalled_until = max(self.stalled_until, cycle + duration)
+        self.stalls += 1
+        job = self._job
+        if job is not None:
+            job.ready += duration
+            self.busy_until = job.ready
+            self.total_busy_cycles += duration
+
+    def fail_current_job(self) -> Optional[str]:
+        """Fault hook: kill the in-flight job (its effects never apply).
+
+        Returns the dropped job's kind, or None when the helper was idle.
+        """
+        job = self._job
+        if job is None:
+            return None
+        self._job = None
+        self.busy_until = 0.0
+        self.jobs_failed += 1
+        return job.kind
 
     def schedule(
         self,

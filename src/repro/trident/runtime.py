@@ -79,6 +79,10 @@ class TridentRuntime:
         self.traces_formed = 0
         self.traces_linked = 0
         self.traces_backed_out = 0
+        # Fault-injection hooks (repro.faults): delinquent-load events
+        # fired before this cycle are discarded (a misbehaving event bus).
+        self.drop_dlt_events_until = 0.0
+        self.dlt_events_dropped = 0
         #: Original PCs of loads that ever appeared in a linked trace.
         self.trace_load_pcs = set()
         #: Backout bookkeeping: head PC -> times its trace was unlinked.
@@ -126,6 +130,12 @@ class TridentRuntime:
             load_pc, ea, outcome.is_miss, outcome.miss_latency
         )
         if not fired:
+            return
+        if cycle < self.drop_dlt_events_until:
+            # Fault window: the event is lost.  The window restarts so the
+            # load must re-earn delinquency once the bus heals.
+            self.dlt_events_dropped += 1
+            self.dlt.clear_window(load_pc)
             return
         if self.watch_table.is_optimizing(trace.trace_id):
             # Re-optimization in flight: the DLT entry stays pending and
@@ -217,8 +227,25 @@ class TridentRuntime:
 
     def tick(self, cycle: float) -> None:
         self.helper.tick(cycle)
-        if self.helper.idle and len(self.events):
+        if self.helper.available(cycle) and len(self.events):
             self._dispatch(self.events.pop(), cycle)
+
+    def fail_helper_job(self) -> Optional[str]:
+        """Fault hook: kill the in-flight helper job and recover.
+
+        The job's effects are lost, so every watch-table optimization
+        flag is cleared — otherwise the killed job's trace would be
+        frozen out of optimization forever — and pending DLT windows
+        restart so delinquency re-fires against the healed helper.
+        """
+        kind = self.helper.fail_current_job()
+        if kind is None:
+            return None
+        self.watch_table.clear_optimizing_flags()
+        for entry in self.dlt.entries():
+            if entry.event_pending:
+                self.dlt.clear_window(entry.tag)
+        return kind
 
     # ------------------------------------------------------------------
     # Event dispatch (the helper thread's work).

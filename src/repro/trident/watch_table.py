@@ -95,6 +95,16 @@ class WatchTable:
         if entry is not None:
             entry.being_optimized = value
 
+    def clear_optimizing_flags(self) -> int:
+        """Drop every optimization-in-flight flag (recovery after a killed
+        helper job); returns how many were set."""
+        cleared = 0
+        for entry in self._entries.values():
+            if entry.being_optimized:
+                entry.being_optimized = False
+                cleared += 1
+        return cleared
+
     def is_optimizing(self, trace_id: int) -> bool:
         entry = self._entries.get(trace_id)
         return entry.being_optimized if entry is not None else False

@@ -40,7 +40,47 @@ class TestUpdateExperiments:
     def test_missing_results_fail_loudly(self, monkeypatch, tmp_path):
         module, results, experiments = load_tool(monkeypatch, tmp_path)
         experiments.write_text("## Reference tables\n\n```\nOLD\n```\n")
-        with pytest.raises(SystemExit, match="no results"):
+        with pytest.raises(SystemExit, match="no usable results"):
+            module.main()
+
+    def test_empty_file_skipped_with_warning(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        module, results, experiments = load_tool(monkeypatch, tmp_path)
+        (results / "fig2_hw_baseline.txt").write_text("TABLE-2\n")
+        (results / "fig5_policies.txt").write_text("")  # corrupt: empty
+        experiments.write_text("## Reference tables\n\n```\nOLD\n```\n")
+        assert module.main() == 0
+        text = experiments.read_text()
+        assert "TABLE-2" in text
+        err = capsys.readouterr().err
+        assert "skipping empty fig5_policies.txt" in err
+
+    def test_unreadable_file_skipped_with_warning(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        module, results, experiments = load_tool(monkeypatch, tmp_path)
+        (results / "fig2_hw_baseline.txt").write_text("TABLE-2\n")
+        bad = results / "fig5_policies.txt"
+        bad.write_text("unreadable\n")
+        real_read_text = pathlib.Path.read_text
+
+        def read_text(self, *args, **kwargs):
+            if self.name == bad.name:
+                raise OSError("simulated I/O error")
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "read_text", read_text)
+        experiments.write_text("## Reference tables\n\n```\nOLD\n```\n")
+        assert module.main() == 0
+        err = capsys.readouterr().err
+        assert "skipping unreadable fig5_policies.txt" in err
+
+    def test_all_files_corrupt_fails_loudly(self, monkeypatch, tmp_path):
+        module, results, experiments = load_tool(monkeypatch, tmp_path)
+        (results / "fig2_hw_baseline.txt").write_text("")
+        experiments.write_text("## Reference tables\n\n```\nOLD\n```\n")
+        with pytest.raises(SystemExit, match="no usable results"):
             module.main()
 
     def test_missing_marker_fails_loudly(self, monkeypatch, tmp_path):

@@ -38,18 +38,43 @@ ORDER = [
     "ablation_repair_budget",
     "ablation_phase_detection",
     "ablation_markov",
+    "resilience",
 ]
 
 
 def collect_tables() -> str:
+    """Gather the result tables, tolerating damage.
+
+    A missing, unreadable, or empty results file — a bench that crashed
+    mid-write, a partial sync — is skipped with a warning instead of
+    sinking the whole rebuild; only a completely empty results directory
+    is fatal.
+    """
     files = {p.stem: p for p in RESULTS.glob("*.txt")}
-    if not files:
-        raise SystemExit(
-            "no results found; run `pytest benchmarks/ --benchmark-only`"
-        )
     names = [n for n in ORDER if n in files]
     names += sorted(set(files) - set(ORDER))
-    tables = [files[name].read_text().strip() for name in names]
+    tables = []
+    for name in names:
+        try:
+            text = files[name].read_text().strip()
+        except OSError as exc:
+            print(
+                f"warning: skipping unreadable {files[name].name}: {exc}",
+                file=sys.stderr,
+            )
+            continue
+        if not text:
+            print(
+                f"warning: skipping empty {files[name].name}",
+                file=sys.stderr,
+            )
+            continue
+        tables.append(text)
+    if not tables:
+        raise SystemExit(
+            "no usable results found; run "
+            "`pytest benchmarks/ --benchmark-only`"
+        )
     return "\n\n".join(tables)
 
 
