@@ -25,8 +25,10 @@ from .config import PrefetchPolicy
 from .errors import ReproError
 from .faults.plan import FaultPlan
 from .harness import experiments
-from .harness.report import render_mapping
+from .harness.report import render_mapping, render_timeline
 from .harness.runner import run_simulation
+from .logutil import configure_logging
+from .obs import Observer, write_chrome_trace, write_jsonl, write_metrics
 from .workloads.registry import BENCHMARK_NAMES, load_workload
 
 _FIGURES = {
@@ -50,6 +52,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'A Self-Repairing Prefetcher in an "
             "Event-Driven Dynamic Optimization Framework' (CGO 2006)"
         ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="verbosity of the repro.* loggers (stderr)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress all diagnostics below errors",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -99,6 +112,36 @@ def _build_parser() -> argparse.ArgumentParser:
             "simulated cycles"
         ),
     )
+    run.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        default=None,
+        help=(
+            "export the run's cycle-stamped event stream; a .jsonl "
+            "suffix writes JSONL (one event per line), anything else "
+            "writes Chrome trace-event JSON loadable in Perfetto "
+            "(https://ui.perfetto.dev)"
+        ),
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="METRICS.json",
+        default=None,
+        help=(
+            "write the consolidated observer snapshot (metrics "
+            "registry, ring summary, repair timelines, samples) as JSON"
+        ),
+    )
+    run.add_argument(
+        "--sample-interval",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "close a windowed IPC/miss-rate/latency sample every N "
+            "committed instructions (implies observation)"
+        ),
+    )
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=sorted(_FIGURES))
@@ -109,6 +152,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fig.add_argument("--instructions", type=int, default=None)
     fig.add_argument("--warmup", type=int, default=None)
+    fig.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        default=None,
+        help=(
+            "figures that run instrumented simulations (resilience) "
+            "export a Perfetto-loadable Chrome trace here"
+        ),
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help=(
+            "run a workload and print each delinquent PC's repair "
+            "timeline (the section-3.5.2 distance search, step by step)"
+        ),
+    )
+    timeline.add_argument("workload", choices=BENCHMARK_NAMES)
+    timeline.add_argument(
+        "--policy",
+        default="self_repairing",
+        choices=[p.value for p in PrefetchPolicy],
+    )
+    timeline.add_argument("--instructions", type=int, default=100_000)
+    timeline.add_argument("--warmup", type=int, default=200_000)
+    timeline.add_argument("--seed", type=int, default=1)
+    timeline.add_argument(
+        "--json-out",
+        metavar="TIMELINES.jsonl",
+        default=None,
+        help="also write the timelines as JSONL (one record per PC)",
+    )
 
     traces = sub.add_parser(
         "traces",
@@ -151,6 +226,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.inject:
         fault_plan = FaultPlan.load(args.inject)
+    observer = None
+    if args.trace_out or args.metrics_out or args.sample_interval:
+        observer = Observer(sample_interval=args.sample_interval)
     result = run_simulation(
         args.workload,
         policy=PrefetchPolicy(args.policy),
@@ -160,7 +238,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         max_cycles=args.max_cycles,
         wall_time_limit=args.wall_time_limit,
+        observer=observer,
     )
+    if observer is not None:
+        _export_observer(observer, args, workload=args.workload)
     if args.json:
         import json
 
@@ -201,6 +282,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_observer(
+    observer: Observer, args: argparse.Namespace, workload: str
+) -> None:
+    """Write the run subcommand's --trace-out / --metrics-out files."""
+    if args.trace_out:
+        if args.trace_out.endswith(".jsonl"):
+            count = write_jsonl(observer.events(), args.trace_out)
+        else:
+            count = write_chrome_trace(
+                observer.events(),
+                args.trace_out,
+                metadata={"workload": workload, "policy": args.policy},
+            )
+        print(
+            f"wrote {count} trace events to {args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        write_metrics(observer.snapshot(), args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     workloads = None
     if args.workloads:
@@ -210,8 +313,43 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         kwargs["max_instructions"] = args.instructions
     if args.warmup is not None:
         kwargs["warmup"] = args.warmup
+    if args.trace_out is not None:
+        if args.figure != "resilience":
+            print(
+                "error: --trace-out is only supported by the "
+                "resilience figure",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["trace_out"] = args.trace_out
     result = _FIGURES[args.figure](**kwargs)
     print(result.render())
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    import json
+
+    observer = Observer()
+    run_simulation(
+        args.workload,
+        policy=PrefetchPolicy(args.policy),
+        max_instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        seed=args.seed,
+        observer=observer,
+    )
+    timelines = observer.timelines.to_dicts()
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            for record in timelines:
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+        print(
+            f"wrote {len(timelines)} timelines to {args.json_out}",
+            file=sys.stderr,
+        )
+    print(render_timeline(timelines))
     return 0
 
 
@@ -312,11 +450,14 @@ def _cmd_claims(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, quiet=args.quiet)
     try:
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "timeline":
+            return _cmd_timeline(args)
         if args.command == "traces":
             return _cmd_traces(args)
         if args.command == "compare":

@@ -76,6 +76,7 @@ class PrefetchOptimizer:
         watch_table: WatchTable,
         code_cache: CodeCache,
         initial_distance_mode: Optional[str] = None,
+        trace_ids: Optional[object] = None,
     ) -> None:
         self.machine = machine
         self.trident = trident
@@ -83,6 +84,8 @@ class PrefetchOptimizer:
         self.dlt = dlt
         self.watch_table = watch_table
         self.code_cache = code_cache
+        #: Per-runtime trace-id allocator (None -> module-global ids).
+        self.trace_ids = trace_ids
         #: "one" (paper default for self-repairing) or "estimate"
         #: (equation 2; also the paper's explored alternative for the
         #: adaptive scheme — the ablation of section 5.3).
@@ -92,6 +95,24 @@ class PrefetchOptimizer:
             )
         self.initial_distance_mode = initial_distance_mode
         self.stats = OptimizerStats()
+        # Observability hook (repro.obs).  All emit sites below run inside
+        # helper-job apply closures, so they pass cycle=None and inherit
+        # the observer's logical clock (the job's completion cycle).
+        self.obs = None
+        self._h_distance = None
+        self._m_repairs = None
+        self._m_insertions = None
+
+    def attach_observer(self, obs) -> None:
+        """Wire the emit hooks and cache the instruments."""
+        from ..obs.metrics import DISTANCE_BUCKETS
+
+        self.obs = obs
+        self._h_distance = obs.metrics.histogram(
+            "optimizer.prefetch_distance", DISTANCE_BUCKETS
+        )
+        self._m_repairs = obs.metrics.counter("optimizer.repairs")
+        self._m_insertions = obs.metrics.counter("optimizer.insertions")
 
     # ------------------------------------------------------------------
     # Entry point.
@@ -248,7 +269,7 @@ class PrefetchOptimizer:
         new_body, records = insert_prefetches(
             base_body, stride_records, pointer_loads
         )
-        new_trace = trace.derive(new_body)
+        new_trace = trace.derive(new_body, ids=self.trace_ids)
         new_trace.meta["records"] = records
 
         work = (
@@ -282,6 +303,30 @@ class PrefetchOptimizer:
             entry = watch.register(
                 new_trace.trace_id, new_trace.head_pc, len(new_trace.body)
             )
+            obs = self.obs
+            if obs is not None:
+                self._m_insertions.inc()
+                for _group, rec in stride_records:
+                    self._h_distance.observe(rec.distance)
+                    obs.emit(
+                        "insert",
+                        None,
+                        pc=rec.load_pcs[0],
+                        load_pcs=list(rec.load_pcs),
+                        distance=rec.distance,
+                        prefetch_kind="stride",
+                        trace_id=new_trace.trace_id,
+                    )
+                for load in pointer_loads:
+                    obs.emit(
+                        "insert",
+                        None,
+                        pc=load.orig_pc,
+                        load_pcs=[load.orig_pc],
+                        distance=None,
+                        prefetch_kind="pointer",
+                        trace_id=new_trace.trace_id,
+                    )
             # Non-adaptive policies never repair: a single shot per load.
             if not self.policy.adaptive_repair:
                 for pc in records:
@@ -357,6 +402,20 @@ class PrefetchOptimizer:
         elif record.distance < old_distance:
             stats.distance_decrements += 1
         stats.repairs_applied += 1
+        obs = self.obs
+        if obs is not None:
+            self._m_repairs.inc()
+            self._h_distance.observe(record.distance)
+            obs.emit(
+                "repair",
+                None,
+                pc=record.load_pcs[0],
+                load_pcs=list(record.load_pcs),
+                old_distance=old_distance,
+                new_distance=record.distance,
+                avg_latency=current,
+                mature=matured,
+            )
         for pc in record.load_pcs:
             if matured:
                 dlt.set_mature(pc)

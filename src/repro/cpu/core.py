@@ -101,6 +101,11 @@ class SMTCore:
         #: ``watchdog.check_interval`` steps.  Both optional and duck-typed.
         self.injector: Optional[object] = None
         self.watchdog: Optional[object] = None
+        #: Observability hook (repro.obs): one attribute check per emit
+        #: site when disabled.  Consecutive entries of the same trace
+        #: collapse to one event so hot loops don't flood the ring.
+        self.obs: Optional[object] = None
+        self._obs_last_trace: Optional[int] = None
 
         self.ctx = ThreadContext(entry=program.entry)
         self.executor = Executor(memory)
@@ -226,8 +231,13 @@ class SMTCore:
     # ------------------------------------------------------------------
     # Main loop.
     # ------------------------------------------------------------------
-    def run(self, max_instructions: int) -> CoreStats:
+    def run(self, max_instructions: int, drain: bool = True) -> CoreStats:
         """Run until ``max_instructions`` original instructions or HALT.
+
+        ``drain=False`` skips the end-of-call fill drain — for callers
+        that stop mid-run to sample and resume: the drain looks one cycle
+        ahead, so draining at a chunk boundary would install fills
+        earlier than an unchunked run and fork the cache state.
 
         Raises :class:`~repro.errors.SimulationStallError` when an armed
         watchdog sees a commit stall or an exhausted cycle or wall-time
@@ -257,7 +267,8 @@ class SMTCore:
                 if steps_until_check <= 0:
                     steps_until_check = watchdog.check_interval
                     watchdog.check(stats.committed, self.cycles)
-        self.hierarchy.drain(int(self.cycles) + 1)
+        if drain:
+            self.hierarchy.drain(int(self.cycles) + 1)
         return self.stats
 
     def _enter_trace_if_patched(self, pc: int) -> None:
@@ -270,6 +281,15 @@ class SMTCore:
             self._trace_idx = 0
             self._trace_entry_issue = self._issue_clock
             self.stats.trace_entries += 1
+            obs = self.obs
+            if obs is not None and trace.trace_id != self._obs_last_trace:
+                self._obs_last_trace = trace.trace_id
+                obs.emit(
+                    "trace_enter",
+                    self._issue_clock,
+                    trace_id=trace.trace_id,
+                    pc=pc,
+                )
 
     def _step_original(self) -> None:
         ctx = self.ctx
@@ -425,6 +445,14 @@ class SMTCore:
     def _finish_trace(self, trace, completed: bool) -> None:
         self._trace = None
         self._trace_idx = 0
+        obs = self.obs
+        if obs is not None and not completed:
+            obs.emit(
+                "trace_exit",
+                self._issue_clock,
+                trace_id=trace.trace_id,
+                early=True,
+            )
         runtime = self.runtime
         if runtime is not None:
             duration = self._issue_clock - self._trace_entry_issue

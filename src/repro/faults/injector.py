@@ -48,6 +48,8 @@ class FaultInjector:
         self.log: List[Dict] = []
         self.faults_applied = 0
         self.faults_skipped = 0
+        #: Observability hook (repro.obs): set by the Simulation.
+        self.obs = None
 
         by_cycle = [e for e in plan.events if e.at_cycle is not None]
         by_inst = [e for e in plan.events if e.at_instruction is not None]
@@ -133,6 +135,15 @@ class FaultInjector:
             self.faults_skipped += 1
         else:
             self.faults_applied += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "fault",
+                cycle,
+                fault=event.kind,
+                label=event.label,
+                detail=detail,
+                skipped=skipped,
+            )
 
     def _apply(self, event: FaultEvent, cycle: float, committed: int) -> None:
         runtime = self.runtime

@@ -56,6 +56,37 @@ def bar_chart(
     return "\n".join(out)
 
 
+#: Eight-level vertical resolution, space for "no data".
+_SPARK_LEVELS = " .:-=+*#@"
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a series as one line of density characters.
+
+    The scale spans [lo, hi] (defaults: the series' own min/max), so two
+    sparklines drawn with the same explicit bounds are comparable — the
+    resilience experiment uses this for its windowed-IPC recovery curve.
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    top = len(_SPARK_LEVELS) - 1
+    out = []
+    for value in values:
+        if span <= 0:
+            out.append(_SPARK_LEVELS[top // 2 + 1])
+            continue
+        norm = (value - lo) / span
+        out.append(_SPARK_LEVELS[1 + int(round(norm * (top - 1)))])
+    return "".join(out)
+
+
 def grouped_bar_chart(
     title: str,
     groups: Sequence[Tuple[str, Dict[str, float]]],

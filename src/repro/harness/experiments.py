@@ -22,7 +22,9 @@ from ..config import (
     TridentConfig,
 )
 from ..faults.plan import FaultPlan
+from ..obs import Observer, write_chrome_trace
 from ..workloads.registry import BENCHMARK_NAMES
+from .charts import sparkline
 from .report import (
     arithmetic_mean,
     percent,
@@ -898,6 +900,23 @@ class ResilienceResult:
                 % self.extra_cycles
             ),
         )
+        curves: List[str] = []
+        for r in self.rows:
+            for key, label in (
+                ("basic", "basic"),
+                ("self_repairing", "self-repairing"),
+            ):
+                ipcs = [w["ipc"] for w in r[key].get("windows", [])]
+                if not ipcs:
+                    continue
+                curves.append(
+                    f"{r['workload']:>10s} {label:<15s} "
+                    f"ipc/window |{sparkline(ipcs)}| "
+                    f"{min(ipcs):.3f}..{max(ipcs):.3f}"
+                )
+        if curves:
+            head = "windowed-IPC recovery curves (fault at mid-window)"
+            table = "\n".join([table, "", head, "-" * len(head)] + curves)
         return _with_errors(table, self.errors)
 
 
@@ -909,9 +928,17 @@ def _resilience_one_policy(
     chunks: int,
     extra_cycles: int,
     seed: int,
+    trace_out: Optional[str] = None,
 ) -> Dict:
-    """Run one workload/policy pair in IPC chunks around an injected
-    permanent DRAM latency increase at the halfway chunk boundary."""
+    """Run one workload/policy pair sampled in IPC windows around an
+    injected permanent DRAM latency increase at the halfway boundary.
+
+    The windowing rides on the observability layer's interval sampler
+    (one window per chunk); with ``trace_out`` set the run's full event
+    stream is exported as Perfetto-loadable Chrome trace JSON — the
+    fault, the renewed repairs, and the windowed-IPC counter track in
+    one timeline.
+    """
     chunk = max(1, budget // chunks)
     fault_at = warm + chunk * (chunks // 2)
     plan = FaultPlan.latency_phase_shift(
@@ -924,39 +951,25 @@ def _resilience_one_policy(
         warmup_instructions=warm,
         seed=seed,
     )
-    sim = Simulation(name, config, fault_plan=plan)
-    core = sim.core
-
-    def repairs() -> int:
-        if sim.runtime is None:
-            return 0
-        return sim.runtime.optimizer.stats.repairs_applied
-
-    if warm:
-        core.run(warm)
-        core.stats.reset_measurement()
-    prev_committed, prev_cycles = core.snapshot()
-    prev_repairs = repairs()
-    windows: List[Dict] = []
-    for i in range(chunks):
-        core.run(warm + chunk * (i + 1))
-        committed, cycles = core.snapshot()
-        now_repairs = repairs()
-        d_inst = committed - prev_committed
-        d_cyc = cycles - prev_cycles
-        windows.append(
-            {
-                "ipc": d_inst / d_cyc if d_cyc else 0.0,
-                "repairs": now_repairs - prev_repairs,
-            }
+    obs = Observer(sample_interval=chunk)
+    sim = Simulation(name, config, fault_plan=plan, observer=obs)
+    result = sim.run()
+    windows: List[Dict] = [
+        {"ipc": s.ipc, "repairs": s.repairs} for s in result.samples
+    ]
+    if trace_out is not None:
+        write_chrome_trace(
+            obs.events(),
+            trace_out,
+            metadata={"workload": name, "policy": policy.value},
         )
-        prev_committed, prev_cycles = committed, cycles
-        prev_repairs = now_repairs
-    if sim.injector is not None:
-        sim.injector.finish(core.cycles)
 
     half = chunks // 2
     pre, post = windows[:half], windows[half:]
+    if not post:
+        # The workload halted before the fault boundary (tiny budgets):
+        # report flat windows rather than crashing the sweep.
+        post = pre[-1:] or [{"ipc": 0.0, "repairs": 0}]
     pre_ipc = arithmetic_mean([w["ipc"] for w in pre])
     dip_ipc = post[0]["ipc"]
     final_ipc = post[-1]["ipc"]
@@ -976,6 +989,11 @@ def _resilience_one_policy(
     }
 
 
+def _suffixed_path(base: str, suffix: str) -> str:
+    root, ext = os.path.splitext(base)
+    return f"{root}.{suffix}{ext or '.json'}"
+
+
 def resilience(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
@@ -983,6 +1001,7 @@ def resilience(
     chunks: int = 8,
     extra_cycles: int = 250,
     seed: int = 1,
+    trace_out: Optional[str] = None,
 ) -> ResilienceResult:
     """Chaos-test the self-repair loop: inject a permanent DRAM latency
     increase mid-run and compare how BASIC and SELF_REPAIRING reconverge.
@@ -1003,8 +1022,19 @@ def resilience(
                 ("basic", PrefetchPolicy.BASIC),
                 ("self_repairing", PrefetchPolicy.SELF_REPAIRING),
             ):
+                # Only the self-repairing run is worth a trace export
+                # (it is the one whose renewed repairs the timeline
+                # shows); one file per workload.
+                out = None
+                if trace_out is not None and key == "self_repairing":
+                    out = (
+                        trace_out
+                        if len(names) == 1
+                        else _suffixed_path(trace_out, name)
+                    )
                 row[key] = _resilience_one_policy(
-                    name, policy, budget, warm, chunks, extra_cycles, seed
+                    name, policy, budget, warm, chunks, extra_cycles, seed,
+                    trace_out=out,
                 )
             return row
 

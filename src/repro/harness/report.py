@@ -104,3 +104,37 @@ def render_mapping(title: str, mapping: Dict[str, Cell]) -> str:
     for key, value in mapping.items():
         lines.append(f"{key.ljust(width)}  {fmt(value)}")
     return "\n".join(lines)
+
+
+def render_timeline(timelines: Sequence[Dict]) -> str:
+    """Render per-PC repair timelines (``PCTimeline.to_dict`` payloads).
+
+    One block per prefetch group: the section-3.5.2 distance search as a
+    cycle-stamped step list — insert at its initial distance, every ±1
+    repair with the latency that drove it, and the maturity transition.
+    """
+    if not timelines:
+        return "no repair timelines (no prefetches were inserted)"
+    out: List[str] = []
+    for tl in timelines:
+        pcs = ",".join(str(pc) for pc in tl.get("load_pcs", []))
+        head = (
+            f"pc {tl['pc']} [{tl.get('kind', 'stride')}] loads=({pcs}) "
+            f"dl_events={tl.get('dl_events', 0)} "
+            f"final_distance={tl.get('final_distance')}"
+        )
+        if tl.get("mature"):
+            head += f" mature@{fmt(tl.get('mature_cycle'), 0)}"
+        out.append(head)
+        out.append("-" * len(head))
+        for step in tl.get("steps", []):
+            cycle = fmt(step.get("cycle", 0.0), 0)
+            kind = step.get("kind", "?")
+            line = f"  cycle {cycle:>10s}  {kind:<7s}"
+            if "distance" in step:
+                line += f" distance={step['distance']}"
+            if "avg_latency" in step:
+                line += f" avg_latency={step['avg_latency']:.1f}"
+            out.append(line)
+        out.append("")
+    return "\n".join(out).rstrip()

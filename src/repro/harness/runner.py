@@ -25,11 +25,15 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.watchdog import Watchdog
 from ..hwprefetch.stream_buffer import StreamBufferPrefetcher
+from ..logutil import get_logger
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.stats import MemoryStats
+from ..obs import Observer
 from ..trident.runtime import TridentRuntime
 from ..workloads.base import Workload
 from ..workloads.registry import BENCHMARK_NAMES, load_workload
+
+_log = get_logger("harness")
 
 
 @dataclass
@@ -63,6 +67,9 @@ class SimulationResult:
     #: Load PCs that appeared in linked traces / got prefetches inserted.
     trace_load_pcs: frozenset = frozenset()
     targeted_load_pcs: frozenset = frozenset()
+    #: Windowed time series (empty unless an observer with a sample
+    #: interval was attached): tuple of repro.obs.sampling.Sample.
+    samples: tuple = ()
 
     def miss_profile(self) -> Dict[int, int]:
         """Per-PC demand-miss counts from this run (Figure 4 input)."""
@@ -107,6 +114,7 @@ class SimulationResult:
             "misses_total": self.core.misses_total,
             "faults_applied": self.faults_applied,
             "fault_log": [dict(entry) for entry in self.fault_log],
+            "samples": [sample.to_dict() for sample in self.samples],
         }
 
 
@@ -119,6 +127,7 @@ class Simulation:
         config: Optional[SimulationConfig] = None,
         initial_distance_mode: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         if isinstance(workload, str):
@@ -185,6 +194,71 @@ class Simulation:
             )
             self.core.injector = self.injector
 
+        # Observability: one attach call wires every component's emit
+        # hooks.  Without an observer every hook stays None and the hot
+        # paths pay a single attribute check.
+        self.observer = observer
+        if observer is not None:
+            if not isinstance(observer, Observer):
+                raise ConfigError(
+                    f"observer must be a repro.obs.Observer, got {observer!r}"
+                )
+            self.hierarchy.attach_observer(observer)
+            self.core.obs = observer
+            if self.runtime is not None:
+                self.runtime.attach_observer(observer)
+            if self.injector is not None:
+                self.injector.obs = observer
+
+    def _cumulative_counters(self) -> Dict[str, float]:
+        """Cumulative counter readings for the interval sampler."""
+        committed, cycles = self.core.snapshot()
+        runtime = self.runtime
+        return {
+            "instructions": committed,
+            "cycles": cycles,
+            "loads": self.core.stats.loads_executed,
+            "misses": self.core.stats.misses_total,
+            "total_load_latency": self.hierarchy.stats.total_load_latency,
+            "repairs": (
+                runtime.optimizer.stats.repairs_applied if runtime else 0
+            ),
+            "dl_events": runtime.dlt.events_fired if runtime else 0,
+        }
+
+    def _run_measured(self, target: int) -> None:
+        """Run the core to ``target`` committed instructions, closing a
+        sampler window every ``interval`` instructions.
+
+        Chunked ``SMTCore.run`` calls are bit-identical to one call (the
+        resilience experiment has always relied on this), so sampling
+        changes only when we *look*, never what happens.
+        """
+        obs = self.observer
+        sampler = obs.sampler if obs is not None else None
+        if sampler is None:
+            self.core.run(target)
+            return
+        sampler.start(**self._cumulative_counters())
+        while not self.core.ctx.halted and self.core.stats.committed < target:
+            stop = min(
+                self.core.stats.committed + sampler.interval, target
+            )
+            self.core.run(stop, drain=False)
+            sample = sampler.record(**self._cumulative_counters())
+            obs.emit(
+                "sample",
+                sample.end_cycle,
+                index=sample.index,
+                ipc=sample.ipc,
+                miss_rate=sample.miss_rate,
+                avg_access_latency=sample.avg_access_latency,
+                repairs=sample.repairs,
+                dl_events=sample.dl_events,
+            )
+        # The one drain the chunked calls skipped (see SMTCore.run).
+        self.hierarchy.drain(int(self.core.cycles) + 1)
+
     def run(self) -> SimulationResult:
         """Execute the configured instruction budget and collect results."""
         cfg = self.config
@@ -194,10 +268,13 @@ class Simulation:
             start_committed, start_cycles = self.core.snapshot()
             # Measurement counters restart after warmup; cache, DLT,
             # trace, and repair state all persist (that is the point of
-            # warming up).
+            # warming up).  Every stat holder resets *in place* — the
+            # components cached references to these objects at construction
+            # (and attach_observer time), so reassignment would silently
+            # fork the accounting.
             self.core.stats.reset_measurement()
-            self.hierarchy.stats = MemoryStats()
-        self.core.run(cfg.warmup_instructions + cfg.max_instructions)
+            self.hierarchy.stats.reset_measurement()
+        self._run_measured(cfg.warmup_instructions + cfg.max_instructions)
         committed, cycles = self.core.snapshot()
         if self.injector is not None:
             self.injector.finish(cycles)
@@ -247,6 +324,31 @@ class Simulation:
                 result.miss_prefetch_coverage = (
                     covered / stats.misses_total
                 )
+        obs = self.observer
+        if obs is not None:
+            if obs.sampler is not None:
+                result.samples = tuple(obs.sampler.samples)
+            # Consolidate the run's headline numbers into the registry so
+            # --metrics-out is one self-contained document.
+            obs.metrics.set_many(
+                {
+                    "run.ipc": result.ipc,
+                    "run.instructions": result.instructions,
+                    "run.cycles": result.cycles,
+                    "run.traces_linked": result.traces_linked,
+                    "run.repairs_applied": result.repairs_applied,
+                    "run.loads_matured": result.loads_matured,
+                    "run.helper_active_fraction": (
+                        result.helper_active_fraction
+                    ),
+                    "run.faults_applied": result.faults_applied,
+                }
+            )
+            _log.info(
+                "run complete: %s/%s ipc=%.4f events=%d (%d dropped)",
+                result.workload, cfg.policy.value, result.ipc,
+                obs.ring.total_emitted, obs.ring.dropped,
+            )
         return result
 
 
@@ -263,13 +365,21 @@ def run_simulation(
     fault_plan: Optional[FaultPlan] = None,
     max_cycles: Optional[float] = None,
     wall_time_limit: Optional[float] = None,
+    observer: Optional[Observer] = None,
+    sample_interval: Optional[int] = None,
 ) -> SimulationResult:
     """Convenience one-call simulation (the quickstart entry point).
+
+    Pass an :class:`~repro.obs.Observer` to collect metrics and trace
+    events, or just ``sample_interval`` to get windowed IPC samples with
+    a default observer.
 
     Raises :class:`~repro.errors.ConfigError` on invalid inputs and
     :class:`~repro.errors.SimulationStallError` when a watchdog budget
     (``max_cycles`` / ``wall_time_limit``) is exhausted mid-run.
     """
+    if observer is None and sample_interval is not None:
+        observer = Observer(sample_interval=sample_interval)
     config = SimulationConfig(
         machine=machine or MachineConfig(),
         trident=trident or TridentConfig(),
@@ -286,4 +396,5 @@ def run_simulation(
         config,
         initial_distance_mode=initial_distance_mode,
         fault_plan=fault_plan,
+        observer=observer,
     ).run()

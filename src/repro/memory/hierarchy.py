@@ -72,6 +72,12 @@ class MemoryHierarchy:
         self._pending_heap: List[Tuple[int, int]] = []
         self._bus_free = 0
 
+        # Observability hook (repro.obs): None costs one attribute check
+        # on the hot paths; attach_observer wires the emit sites.
+        self.obs = None
+        self._m_load_latency = None
+        self._m_fills = None
+
         # Fault-injection hooks (see repro.faults.injector): extra cycles
         # charged to every DRAM-sourced fill, and a multiplier on fill-bus
         # occupancy.  Both are neutral by default and only ever set by a
@@ -79,6 +85,20 @@ class MemoryHierarchy:
         self.dram_latency_extra = 0
         self.bus_occupancy_scale = 1.0
         self.lines_flushed = 0
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+    def attach_observer(self, obs) -> None:
+        """Wire the emit hooks; instruments are cached so the enabled
+        hot path pays one dict-free method call per event."""
+        from ..obs.metrics import LOAD_LATENCY_BUCKETS
+
+        self.obs = obs
+        self._m_load_latency = obs.metrics.histogram(
+            "memory.load_latency", LOAD_LATENCY_BUCKETS
+        )
+        self._m_fills = obs.metrics.counter("memory.fills_started")
 
     # ------------------------------------------------------------------
     # Fill plumbing.
@@ -130,6 +150,24 @@ class MemoryHierarchy:
         fill = _PendingFill(block, issue + latency, prefetched, source)
         self._pending[block] = fill
         heapq.heappush(self._pending_heap, (fill.ready, block))
+        obs = self.obs
+        if obs is not None:
+            self._m_fills.inc()
+            if latency >= self.config.memory_latency:
+                level = "mem"
+            elif latency == self.config.l3.latency:
+                level = "l3"
+            else:
+                level = "l2"
+            obs.emit(
+                "fill",
+                cycle,
+                block=block,
+                level=level,
+                ready=fill.ready,
+                prefetched=prefetched,
+                source=source.value if source is not None else None,
+            )
         return fill
 
     def drain(self, cycle: int) -> None:
@@ -188,6 +226,8 @@ class MemoryHierarchy:
         self.drain(cycle)
         outcome = self._classify_load(addr, cycle)
         self.stats.record(outcome)
+        if self.obs is not None:
+            self._m_load_latency.observe(outcome.latency)
         if self.stream_prefetcher is not None:
             self.stream_prefetcher.on_demand_load(
                 pc=pc,

@@ -83,9 +83,13 @@ class MemoryStats:
     software_prefetches_useless: int = 0  # line already present/in flight
     hardware_prefetches_issued: int = 0
     stores: int = 0
+    #: Sum of every demand load's cycles-until-data (windowed average
+    #: access latency for the interval sampler).
+    total_load_latency: int = 0
 
     def record(self, outcome: LoadOutcome) -> None:
         self.outcomes[outcome.kind] += 1
+        self.total_load_latency += outcome.latency
         self.level_hits[outcome.level] = (
             self.level_hits.get(outcome.level, 0) + 1
         )
@@ -105,6 +109,26 @@ class MemoryStats:
             self.outcomes[OutcomeKind.MISS]
             + self.outcomes[OutcomeKind.MISS_DUE_TO_PREFETCH]
         )
+
+    def reset_measurement(self) -> None:
+        """Zero every counter in place at the end of warmup.
+
+        Part of the measurement-reset protocol all stat holders
+        implement (see :meth:`repro.harness.runner.Simulation.run`):
+        resetting mutates the existing object so components holding a
+        reference (the hierarchy, an attached observer) keep seeing the
+        live stats.
+        """
+        for kind in self.outcomes:
+            self.outcomes[kind] = 0
+        self.level_hits.clear()
+        for source in self.prefetched_hits_by_source:
+            self.prefetched_hits_by_source[source] = 0
+        self.software_prefetches_issued = 0
+        self.software_prefetches_useless = 0
+        self.hardware_prefetches_issued = 0
+        self.stores = 0
+        self.total_load_latency = 0
 
     def fraction(self, kind: OutcomeKind) -> float:
         """Fraction of all loads with this outcome (0 when no loads ran)."""

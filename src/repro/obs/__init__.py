@@ -1,0 +1,56 @@
+"""Observability: cycle-stamped event tracing, metrics, and sampling.
+
+The simulator's components expose *narrow emit hooks*: each holds an
+``obs`` attribute that is ``None`` by default, and every hot-path hook is
+guarded by a single attribute check (``if self.obs is not None``), so a
+run without an observer pays one pointer comparison per hook and nothing
+else — disabled-mode results are bit-for-bit identical to a run with no
+observer at all, because observation never touches simulated timing.
+
+One :class:`Observer` aggregates three views of a run:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` of named counters,
+  gauges, and fixed-bucket histograms (load latency, prefetch distance);
+* a bounded :class:`~repro.obs.events.EventRing` of cycle-stamped
+  structured events (delinquent-load events, ±1 distance repairs,
+  maturity transitions, helper-thread jobs, trace link/unlink, fault
+  injections) exportable as JSONL or Chrome trace-event JSON
+  (Perfetto / chrome://tracing);
+* an optional :class:`~repro.obs.sampling.IntervalSampler` producing
+  windowed IPC / miss-rate / access-latency series, and a
+  :class:`~repro.obs.timeline.TimelineCollector` recording each
+  delinquent PC's distance trajectory (section 3.5.2's repair search,
+  made visible).
+"""
+
+from .events import EventRing, TraceEvent
+from .export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import Observer
+from .sampling import IntervalSampler, Sample
+from .timeline import PCTimeline, TimelineCollector
+
+__all__ = [
+    "Counter",
+    "EventRing",
+    "Gauge",
+    "Histogram",
+    "IntervalSampler",
+    "MetricsRegistry",
+    "Observer",
+    "PCTimeline",
+    "Sample",
+    "TimelineCollector",
+    "TraceEvent",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

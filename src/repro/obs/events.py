@@ -1,0 +1,87 @@
+"""Cycle-stamped structured trace events and the bounded ring they live in.
+
+An event is ``(cycle, kind, fields)``: the simulated cycle it happened
+at, a kind string from the vocabulary below, and a flat JSON-friendly
+field mapping.  The ring is bounded like a hardware trace buffer: when
+full it evicts the *oldest* event and counts the drop, so the newest
+window of activity always survives and the loss is visible.
+
+Event vocabulary (see DESIGN.md's observability section for the paper
+mapping):
+
+==================  =====================================================
+kind                emitted when
+==================  =====================================================
+``dl_event``        the DLT fires a delinquent-load event (section 3.3)
+``dl_event_lost``   a fired event was dropped by an injected bus fault
+``insert``          the helper links a prefetch-bearing trace (3.4)
+``repair``          one ±1 distance patch is applied (3.5.2)
+``mature``          a load's mature flag is set (3.5.2)
+``phase_change``    the phase detector clears mature flags (3.5.2)
+``trace_link``      a formed hot trace is linked (3.2)
+``trace_unlink``    the watch table backs a trace out (3.2)
+``trace_enter``     the core enters a linked trace at a patched PC
+``trace_exit``      the core leaves a trace early (unexpected branch)
+``helper_begin``    an optimization job dispatches to the helper (3.1)
+``helper_end``      the job completes and its effects apply
+``helper_fail``     a fault kills the in-flight helper job
+``fill``            the hierarchy starts a cache-line fill
+``fault``           the fault injector applies (or skips) a plan event
+``sample``          the interval sampler closes a measurement window
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, NamedTuple
+
+
+class TraceEvent(NamedTuple):
+    """One cycle-stamped structured event."""
+
+    cycle: float
+    kind: str
+    fields: Dict
+
+    def to_dict(self) -> Dict:
+        record = {"cycle": self.cycle, "kind": self.kind}
+        record.update(self.fields)
+        return record
+
+
+class EventRing:
+    """Bounded event buffer: keeps the newest events, counts drops."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._buf: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.total_emitted = 0
+        self.dropped = 0
+
+    def append(self, event: TraceEvent) -> None:
+        buf = self._buf
+        if len(buf) == self.capacity:
+            self.dropped += 1
+        buf.append(event)
+        self.total_emitted += 1
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._buf)
+
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._buf)
+
+    def summary(self) -> Dict:
+        return {
+            "capacity": self.capacity,
+            "buffered": len(self._buf),
+            "total_emitted": self.total_emitted,
+            "dropped": self.dropped,
+        }

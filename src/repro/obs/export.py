@@ -1,0 +1,236 @@
+"""Trace and metrics exporters: JSONL and Chrome trace-event JSON.
+
+Two formats, one event stream:
+
+* **JSONL** — one ``{"cycle": ..., "kind": ..., ...}`` object per line;
+  greppable, diffable (the determinism tests compare these byte for
+  byte), and the input format of ``tools/render_timeline.py``.
+* **Chrome trace-event JSON** — loadable in Perfetto
+  (https://ui.perfetto.dev) or chrome://tracing.  Simulated cycles are
+  mapped 1:1 onto microseconds.  Tracks: the main core, the helper
+  context (optimization jobs as duration slices), one track per memory
+  level (fills), the Trident monitoring hardware (delinquent-load
+  events, repairs, maturity), fault injections, and the interval
+  sampler's windowed IPC / miss-rate as counter tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .events import TraceEvent
+
+#: Stable track (tid) assignment inside the single simulator "process".
+_PID = 0
+_TRACKS = {
+    "core": 1,
+    "helper": 2,
+    "memory.l2": 3,
+    "memory.l3": 4,
+    "memory.mem": 5,
+    "trident": 6,
+    "faults": 7,
+}
+_TRACK_NAMES = {
+    1: "main core",
+    2: "helper thread",
+    3: "memory: L2 fills",
+    4: "memory: L3 fills",
+    5: "memory: DRAM fills",
+    6: "trident monitoring",
+    7: "fault injector",
+}
+
+_CORE_KINDS = frozenset({"trace_enter", "trace_exit"})
+_HELPER_KINDS = frozenset({"helper_begin", "helper_end", "helper_fail"})
+_TRIDENT_KINDS = frozenset(
+    {
+        "dl_event",
+        "dl_event_lost",
+        "insert",
+        "repair",
+        "mature",
+        "phase_change",
+        "trace_link",
+        "trace_unlink",
+    }
+)
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write one JSON object per event; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict]:
+    """Load a JSONL export back into dicts (tooling / tests)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _track_for(event: TraceEvent) -> int:
+    kind = event.kind
+    if kind in _CORE_KINDS:
+        return _TRACKS["core"]
+    if kind in _HELPER_KINDS:
+        return _TRACKS["helper"]
+    if kind == "fill":
+        level = event.fields.get("level", "mem")
+        return _TRACKS.get(f"memory.{level}", _TRACKS["memory.mem"])
+    if kind == "fault":
+        return _TRACKS["faults"]
+    return _TRACKS["trident"]
+
+
+def _instant(event: TraceEvent, tid: int) -> Dict:
+    return {
+        "name": event.kind,
+        "ph": "i",
+        "s": "t",
+        "ts": event.cycle,
+        "pid": _PID,
+        "tid": tid,
+        "args": dict(event.fields),
+    }
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent],
+    metadata: Optional[Dict] = None,
+) -> Dict:
+    """Convert an event stream to a Chrome trace-event JSON object."""
+    trace_events: List[Dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for tid, name in sorted(_TRACK_NAMES.items())
+    ]
+    trace_events.insert(
+        0,
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro simulator"},
+        },
+    )
+    for event in events:
+        kind = event.kind
+        if kind == "helper_end" and "began" in event.fields:
+            # Render the whole job as one complete slice on the helper
+            # track: dispatch -> completion.
+            began = event.fields["began"]
+            args = dict(event.fields)
+            trace_events.append(
+                {
+                    "name": f"helper:{args.get('job', 'job')}",
+                    "ph": "X",
+                    "ts": began,
+                    "dur": max(0.0, event.cycle - began),
+                    "pid": _PID,
+                    "tid": _TRACKS["helper"],
+                    "args": args,
+                }
+            )
+            continue
+        if kind == "helper_begin":
+            # The matching helper_end draws the slice; the begin marker
+            # is redundant in the visual timeline.
+            continue
+        if kind == "sample":
+            # Counter tracks: Perfetto plots args values over time.
+            for counter, key in (
+                ("windowed IPC", "ipc"),
+                ("windowed miss rate", "miss_rate"),
+            ):
+                if key in event.fields:
+                    trace_events.append(
+                        {
+                            "name": counter,
+                            "ph": "C",
+                            "ts": event.cycle,
+                            "pid": _PID,
+                            "args": {key: event.fields[key]},
+                        }
+                    )
+            continue
+        trace_events.append(_instant(event, _track_for(event)))
+    payload = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": metadata or {},
+    }
+    return payload
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent],
+    path: str,
+    metadata: Optional[Dict] = None,
+) -> int:
+    """Write a Perfetto-loadable trace; returns the event count."""
+    payload = chrome_trace(events, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(payload["traceEvents"])
+
+
+#: Phase values the trace-event format defines for the subset we emit.
+_VALID_PHASES = frozenset({"i", "X", "M", "C", "B", "E"})
+
+
+def validate_chrome_trace(payload: Dict) -> List[str]:
+    """Schema-check a Chrome trace object; returns a list of problems.
+
+    Used by the CI trace-smoke step: an empty list means the export is
+    structurally loadable.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"event {i} has invalid ph {ph!r}")
+            continue
+        if "name" not in event:
+            problems.append(f"event {i} has no name")
+        if ph != "M":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event {i} ({event.get('name')}) has no ts")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"event {i} is ph=X without dur")
+        if "pid" not in event:
+            problems.append(f"event {i} has no pid")
+    return problems
+
+
+def write_metrics(snapshot: Dict, path: str) -> None:
+    """Write a consolidated metrics/observer snapshot as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)

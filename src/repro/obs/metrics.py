@@ -1,0 +1,162 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Components register instruments by dotted name (``memory.load_latency``,
+``trident.dl_events``) at observer-attach time and keep the returned
+object, so a hot-path emit is one attribute check plus one method call —
+no registry lookup per event.  ``MetricsRegistry.snapshot()`` renders
+everything as one JSON-friendly mapping, the consolidated view the CLI's
+``--metrics-out`` writes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default load-latency bucket upper bounds (cycles).  The edges follow
+#: the machine's natural latency tiers: L1 (3), L2 (11), L3 (35), then a
+#: geometric ladder through DRAM (350) and fault-inflated DRAM.
+LOAD_LATENCY_BUCKETS = (3, 11, 35, 70, 150, 250, 350, 500, 700, 1000)
+
+#: Default prefetch-distance bucket upper bounds (iterations ahead).
+DISTANCE_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins scalar (may be float)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with inclusive upper bounds.
+
+    ``bounds`` are the finite bucket upper edges, sorted ascending; an
+    implicit overflow bucket catches everything above the last edge.  A
+    sample lands in the first bucket whose bound is >= the value
+    (``observe(3)`` with bounds ``(3, 11)`` counts in the 3-bucket).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        ordered = tuple(sorted(bounds))
+        if not ordered:
+            raise ValueError(f"histogram {name!r} needs at least one bound")
+        self.name = name
+        self.bounds: Tuple[float, ...] = ordered
+        #: One slot per finite bound plus the overflow bucket.
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LOAD_LATENCY_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name)
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def _check_free(self, name: str) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def set_many(self, values: Dict[str, float]) -> None:
+        """Bulk-publish scalars as gauges (end-of-run stat consolidation)."""
+        for name, value in values.items():
+            self.gauge(name).set(value)
+
+    def snapshot(self) -> Dict:
+        """One JSON-friendly mapping of every registered instrument."""
+        return {
+            "counters": {
+                name: c.snapshot() for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.snapshot() for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        }

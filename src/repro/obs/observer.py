@@ -1,0 +1,71 @@
+"""The Observer: one object aggregating every view of a run.
+
+Components never import each other's observability state; they hold an
+``obs`` attribute (``None`` when observation is off) and call
+``obs.emit(kind, cycle, field=value, ...)``.  The observer appends the
+event to the bounded ring and routes repair-vocabulary events to the
+timeline collector.
+
+``Observer.now`` is the *logical clock* for emit sites that have no
+cycle in hand: helper-thread job effects apply inside closures that were
+scheduled cycles earlier, so the helper sets ``now`` to the job's
+completion cycle before running it, and everything the job emits
+(repairs, maturity transitions, trace links) is stamped consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .events import EventRing, TraceEvent
+from .metrics import MetricsRegistry
+from .sampling import IntervalSampler
+from .timeline import TimelineCollector
+
+
+class Observer:
+    """Metrics + event ring + repair timelines (+ optional sampling)."""
+
+    def __init__(
+        self,
+        ring_capacity: int = 65536,
+        sample_interval: Optional[int] = None,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.ring = EventRing(ring_capacity)
+        self.timelines = TimelineCollector()
+        self.sampler = (
+            IntervalSampler(sample_interval)
+            if sample_interval is not None
+            else None
+        )
+        #: Logical clock for emit sites without a cycle in hand (set by
+        #: the helper thread before applying a job's effects).
+        self.now: float = 0.0
+        self._timeline_kinds = TimelineCollector.KINDS
+
+    def emit(self, kind: str, cycle: Optional[float] = None, **fields) -> None:
+        """Record one structured event.
+
+        ``cycle=None`` stamps the event with the logical clock
+        (:attr:`now`) — for emits that run inside helper-job closures.
+        """
+        if cycle is None:
+            cycle = self.now
+        self.ring.append(TraceEvent(cycle, kind, fields))
+        if kind in self._timeline_kinds:
+            self.timelines.on_event(cycle, kind, fields)
+
+    def events(self) -> List[TraceEvent]:
+        return self.ring.events()
+
+    def snapshot(self) -> Dict:
+        """The consolidated end-of-run view (``--metrics-out`` payload)."""
+        payload = {
+            "metrics": self.metrics.snapshot(),
+            "ring": self.ring.summary(),
+            "timelines": self.timelines.to_dicts(),
+        }
+        if self.sampler is not None:
+            payload["samples"] = self.sampler.to_dicts()
+        return payload

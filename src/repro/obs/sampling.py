@@ -1,0 +1,121 @@
+"""Interval sampling: windowed IPC / miss-rate / latency time series.
+
+End-of-run aggregates hide exactly what the paper's mechanism *is* — a
+trajectory (IPC dips when the memory system shifts, repairs fire, IPC
+recovers).  The sampler closes a measurement window every
+``interval`` committed instructions; the simulation driver feeds it
+cumulative counters at each boundary and it stores the window deltas.
+
+The sampler never touches the core's hot loop: the driver runs the core
+in interval-sized chunks (``SMTCore.run`` is already re-entrant — the
+resilience experiment has always done this), so sampling costs one
+Python call per *window*, not per instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One closed measurement window (deltas over the window)."""
+
+    #: Window index (0-based) and end-of-window cumulative positions.
+    index: int
+    end_instruction: int
+    end_cycle: float
+    #: Window deltas.
+    instructions: int
+    cycles: float
+    loads: int
+    misses: int
+    total_load_latency: float
+    repairs: int
+    dl_events: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.loads if self.loads else 0.0
+
+    @property
+    def avg_access_latency(self) -> float:
+        return self.total_load_latency / self.loads if self.loads else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "end_instruction": self.end_instruction,
+            "end_cycle": self.end_cycle,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "loads": self.loads,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "avg_access_latency": self.avg_access_latency,
+            "repairs": self.repairs,
+            "dl_events": self.dl_events,
+        }
+
+
+#: The cumulative counters the driver reports at each window boundary.
+_COUNTER_KEYS = (
+    "instructions",
+    "cycles",
+    "loads",
+    "misses",
+    "total_load_latency",
+    "repairs",
+    "dl_events",
+)
+
+
+class IntervalSampler:
+    """Collects :class:`Sample` windows from cumulative counter readings."""
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.interval = interval
+        self.samples: List[Sample] = []
+        self._baseline: Optional[Dict[str, float]] = None
+
+    def start(self, **counters: float) -> None:
+        """Open the first window at the current cumulative counters."""
+        self._baseline = {key: counters.get(key, 0) for key in _COUNTER_KEYS}
+
+    def record(self, **counters: float) -> Sample:
+        """Close a window ending at the given cumulative counters."""
+        if self._baseline is None:
+            self.start(**{key: 0 for key in _COUNTER_KEYS})
+        base = self._baseline
+        now = {key: counters.get(key, 0) for key in _COUNTER_KEYS}
+        sample = Sample(
+            index=len(self.samples),
+            end_instruction=int(now["instructions"]),
+            end_cycle=now["cycles"],
+            instructions=int(now["instructions"] - base["instructions"]),
+            cycles=now["cycles"] - base["cycles"],
+            loads=int(now["loads"] - base["loads"]),
+            misses=int(now["misses"] - base["misses"]),
+            total_load_latency=now["total_load_latency"]
+            - base["total_load_latency"],
+            repairs=int(now["repairs"] - base["repairs"]),
+            dl_events=int(now["dl_events"] - base["dl_events"]),
+        )
+        self.samples.append(sample)
+        self._baseline = now
+        return sample
+
+    def series(self, key: str) -> List[float]:
+        """One attribute across all samples (``series("ipc")``)."""
+        return [getattr(sample, key) for sample in self.samples]
+
+    def to_dicts(self) -> List[Dict]:
+        return [sample.to_dict() for sample in self.samples]

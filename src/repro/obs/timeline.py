@@ -1,0 +1,140 @@
+"""Per-delinquent-PC repair timelines.
+
+The ring buffer answers "what happened recently"; the timeline collector
+answers "what happened to *this load*, start to finish" — the distance
+trajectory of section 3.5.2 (1 → 2 → ... → max, with −1 steps when the
+latency rises) with the cycle of every step.  It listens to the repair
+vocabulary only (``insert`` / ``repair`` / ``mature`` / ``dl_event``),
+so it stays complete even when a busy ring has evicted the early events.
+
+Records are keyed by the *group-lead* PC (the first load PC of the
+same-object group) so a group's shared prefetch appears once, with every
+member PC listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class PCTimeline:
+    """The lifetime of one prefetch group's repair search."""
+
+    pc: int
+    load_pcs: Tuple[int, ...] = ()
+    kind: str = "stride"
+    #: Chronological (cycle, event-kind, distance-after, avg-latency).
+    steps: List[Dict] = field(default_factory=list)
+    dl_events: int = 0
+    final_distance: Optional[int] = None
+    mature: bool = False
+    mature_cycle: Optional[float] = None
+
+    def add(
+        self,
+        cycle: float,
+        kind: str,
+        distance: Optional[int] = None,
+        latency: Optional[float] = None,
+    ) -> None:
+        step = {"cycle": cycle, "kind": kind}
+        if distance is not None:
+            step["distance"] = distance
+            self.final_distance = distance
+        if latency is not None:
+            step["avg_latency"] = latency
+        self.steps.append(step)
+
+    def distance_trajectory(self) -> List[Tuple[float, int]]:
+        """(cycle, distance) pairs, one per distance-bearing step."""
+        return [
+            (step["cycle"], step["distance"])
+            for step in self.steps
+            if "distance" in step
+        ]
+
+    def to_dict(self) -> Dict:
+        return {
+            "pc": self.pc,
+            "load_pcs": list(self.load_pcs),
+            "kind": self.kind,
+            "dl_events": self.dl_events,
+            "final_distance": self.final_distance,
+            "mature": self.mature,
+            "mature_cycle": self.mature_cycle,
+            "steps": list(self.steps),
+        }
+
+
+class TimelineCollector:
+    """Builds :class:`PCTimeline` records from emitted repair events."""
+
+    #: Event kinds this collector consumes (the Observer routes these).
+    KINDS = frozenset({"insert", "repair", "mature", "dl_event"})
+
+    def __init__(self) -> None:
+        self._by_lead: Dict[int, PCTimeline] = {}
+        #: member PC -> group-lead PC (so ``mature``/``dl_event`` events
+        #: addressed to any member land on the group's record).
+        self._lead_of: Dict[int, int] = {}
+
+    def _record_for(self, pc: int) -> Optional[PCTimeline]:
+        lead = self._lead_of.get(pc)
+        if lead is None:
+            return None
+        return self._by_lead.get(lead)
+
+    def on_event(self, cycle: float, kind: str, fields: Dict) -> None:
+        if kind == "insert":
+            pcs = tuple(fields.get("load_pcs", ()))
+            if not pcs:
+                return
+            lead = pcs[0]
+            record = self._by_lead.get(lead)
+            if record is None:
+                record = PCTimeline(
+                    pc=lead,
+                    load_pcs=pcs,
+                    kind=fields.get("prefetch_kind", "stride"),
+                )
+                self._by_lead[lead] = record
+            for pc in pcs:
+                self._lead_of[pc] = lead
+            record.add(cycle, "insert", distance=fields.get("distance"))
+        elif kind == "repair":
+            record = self._record_for(fields.get("pc", -1))
+            if record is None:
+                return
+            record.add(
+                cycle,
+                "repair",
+                distance=fields.get("new_distance"),
+                latency=fields.get("avg_latency"),
+            )
+            if fields.get("mature"):
+                record.mature = True
+                record.mature_cycle = cycle
+        elif kind == "mature":
+            record = self._record_for(fields.get("pc", -1))
+            if record is None:
+                return
+            if not record.mature:
+                record.mature = True
+                record.mature_cycle = cycle
+                record.add(cycle, "mature")
+        elif kind == "dl_event":
+            record = self._record_for(fields.get("pc", -1))
+            if record is not None:
+                record.dl_events += 1
+
+    def timelines(self) -> List[PCTimeline]:
+        """All records, ordered by group-lead PC."""
+        return [self._by_lead[pc] for pc in sorted(self._by_lead)]
+
+    def to_dicts(self) -> List[Dict]:
+        return [t.to_dict() for t in self.timelines()]
+
+    def __len__(self) -> int:
+        return len(self._by_lead)

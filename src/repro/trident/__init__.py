@@ -11,7 +11,7 @@ from .events import (
 from .helper_thread import HelperThread, RegistrationStructure
 from .optimizations import optimize_trace_body
 from .runtime import TridentRuntime
-from .trace import HotTrace, TraceInstruction, next_trace_id
+from .trace import HotTrace, TraceIdAllocator, TraceInstruction, next_trace_id
 from .trace_formation import form_trace
 from .watch_table import WatchEntry, WatchTable
 
@@ -26,6 +26,7 @@ __all__ = [
     "HotTrace",
     "HotTraceEvent",
     "RegistrationStructure",
+    "TraceIdAllocator",
     "TraceInstruction",
     "TridentRuntime",
     "WatchEntry",

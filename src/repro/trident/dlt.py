@@ -79,6 +79,10 @@ class DelinquentLoadTable:
         self.evictions = 0
         self.events_fired = 0
         self.windows_evaluated = 0
+        #: Observability hook (repro.obs).  ``set_mature`` runs inside
+        #: helper-job closures, so its emits use the observer's logical
+        #: clock (the job's completion cycle).
+        self.obs = None
 
     # ------------------------------------------------------------------
     def _bucket(self, pc: int) -> OrderedDict:
@@ -88,6 +92,15 @@ class DelinquentLoadTable:
             bucket = OrderedDict()
             self._sets[index] = bucket
         return bucket
+
+    def peek(self, pc: int) -> Optional[DLTEntry]:
+        """Probe without allocating *or* touching LRU order.
+
+        Observability reads go through here so an attached observer can
+        never perturb replacement decisions (enabled and disabled runs
+        must stay bit-for-bit identical).
+        """
+        return self._bucket(pc).get(pc)
 
     def lookup(self, pc: int) -> Optional[DLTEntry]:
         """Probe without allocating (used by the optimizer)."""
@@ -191,9 +204,13 @@ class DelinquentLoadTable:
     def set_mature(self, pc: int) -> None:
         entry = self.lookup(pc)
         if entry is not None:
+            newly = not entry.mature
             entry.mature = True
             entry.event_pending = False
             self._reset_window(entry)
+            obs = self.obs
+            if obs is not None and newly:
+                obs.emit("mature", None, pc=pc)
 
     def is_stride_predictable(self, pc: int) -> bool:
         """True when the 4-bit confidence counter is saturated (15)."""

@@ -63,6 +63,8 @@ class HelperThread:
         self.stalled_until: float = 0.0
         self.stalls = 0
         self.jobs_failed = 0
+        #: Observability hook (repro.obs): set by the Simulation.
+        self.obs = None
 
     @property
     def idle(self) -> bool:
@@ -98,6 +100,14 @@ class HelperThread:
         self._job = None
         self.busy_until = 0.0
         self.jobs_failed += 1
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "helper_fail",
+                None,
+                job=job.kind,
+                began=job.dispatched_at,
+            )
         return job.kind
 
     def schedule(
@@ -120,6 +130,9 @@ class HelperThread:
         self._job = job
         self.busy_until = job.ready
         self.total_busy_cycles += duration
+        obs = self.obs
+        if obs is not None:
+            obs.emit("helper_begin", cycle, job=kind, ready=job.ready)
         return job
 
     def tick(self, cycle: float) -> bool:
@@ -130,6 +143,17 @@ class HelperThread:
         self._job = None
         self.jobs_run += 1
         self.jobs_by_kind[job.kind] = self.jobs_by_kind.get(job.kind, 0) + 1
+        obs = self.obs
+        if obs is not None:
+            # Everything the job's apply() emits (repairs, links,
+            # maturity) is stamped at the job's completion cycle.
+            obs.now = job.ready
+            obs.emit(
+                "helper_end",
+                job.ready,
+                job=job.kind,
+                began=job.dispatched_at,
+            )
         job.apply()
         return True
 

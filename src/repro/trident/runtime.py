@@ -28,6 +28,7 @@ from typing import Optional, Set
 from ..config import MachineConfig, PrefetchPolicy, TridentConfig
 from ..core.optimizer import PrefetchOptimizer
 from ..isa.program import Program
+from ..logutil import get_logger
 from ..memory.stats import LoadOutcome
 from .branch_profiler import BranchProfiler
 from .code_cache import CodeCache
@@ -35,9 +36,11 @@ from .dlt import DelinquentLoadTable
 from .events import DelinquentLoadEvent, EventQueue, HotTraceEvent
 from .helper_thread import HelperThread
 from .optimizations import optimize_trace_body
-from .trace import HotTrace
+from .trace import HotTrace, TraceIdAllocator
 from .trace_formation import form_trace
 from .watch_table import WatchTable
+
+_log = get_logger("trident")
 
 
 class TridentRuntime:
@@ -67,6 +70,9 @@ class TridentRuntime:
         self.code_cache = CodeCache()
         self.helper = HelperThread(machine.helper_startup_cycles)
         self.events = EventQueue()
+        #: Per-runtime trace ids: identically-configured runs number
+        #: their traces identically (exported traces are reproducible).
+        self.trace_ids = TraceIdAllocator()
         self.optimizer = PrefetchOptimizer(
             machine=machine,
             trident=trident,
@@ -75,6 +81,7 @@ class TridentRuntime:
             watch_table=self.watch_table,
             code_cache=self.code_cache,
             initial_distance_mode=initial_distance_mode,
+            trace_ids=self.trace_ids,
         )
         self.traces_formed = 0
         self.traces_linked = 0
@@ -94,6 +101,20 @@ class TridentRuntime:
         self._phase_loads = 0
         self._phase_misses = 0
         self._phase_prev_rate: Optional[float] = None
+
+        # Observability hook (repro.obs): attach_observer wires this
+        # runtime plus every sub-component it owns.
+        self.obs = None
+        self._m_dl_events = None
+
+    def attach_observer(self, obs) -> None:
+        """Wire the observer through Trident: runtime, DLT, helper,
+        optimizer.  One call from the Simulation covers the subsystem."""
+        self.obs = obs
+        self._m_dl_events = obs.metrics.counter("trident.dl_events")
+        self.dlt.obs = obs
+        self.helper.obs = obs
+        self.optimizer.attach_observer(obs)
 
     # ------------------------------------------------------------------
     # Core-facing hooks.
@@ -125,7 +146,7 @@ class TridentRuntime:
         if not self.policy.software_prefetching:
             return
         if self.trident.phase_detection:
-            self._observe_phase(outcome.is_miss)
+            self._observe_phase(outcome.is_miss, cycle)
         fired = self.dlt.update(
             load_pc, ea, outcome.is_miss, outcome.miss_latency
         )
@@ -136,6 +157,11 @@ class TridentRuntime:
             # load must re-earn delinquency once the bus heals.
             self.dlt_events_dropped += 1
             self.dlt.clear_window(load_pc)
+            if self.obs is not None:
+                self.obs.emit(
+                    "dl_event_lost", cycle, pc=load_pc,
+                    trace_id=trace.trace_id,
+                )
             return
         if self.watch_table.is_optimizing(trace.trace_id):
             # Re-optimization in flight: the DLT entry stays pending and
@@ -148,14 +174,23 @@ class TridentRuntime:
         )
         if pushed:
             self.watch_table.set_optimizing(trace.trace_id, True)
+            obs = self.obs
+            if obs is not None:
+                self._m_dl_events.inc()
+                entry = self.dlt.peek(load_pc)
+                fields = {"pc": load_pc, "trace_id": trace.trace_id}
+                if entry is not None:
+                    fields["miss_rate"] = entry.miss_rate()
+                    fields["avg_miss_latency"] = entry.average_miss_latency()
+                obs.emit("dl_event", cycle, **fields)
 
     def on_trace_execution(
         self, trace: HotTrace, duration: float, completed: bool, cycle: float
     ) -> None:
         self.watch_table.record_execution(trace.trace_id, duration, completed)
-        self._maybe_back_out(trace)
+        self._maybe_back_out(trace, cycle)
 
-    def _maybe_back_out(self, trace: HotTrace) -> None:
+    def _maybe_back_out(self, trace: HotTrace, cycle: float = 0.0) -> None:
         """The watch table's second duty: back out of a trace whose
         captured path keeps diverging from actual execution (the paper's
         "identify and back out of hot traces that are under-performing").
@@ -175,6 +210,18 @@ class TridentRuntime:
         self.code_cache.unlink(trace)
         self.watch_table.remove(trace.trace_id)
         self.traces_backed_out += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "trace_unlink",
+                cycle,
+                trace_id=trace.trace_id,
+                head_pc=trace.head_pc,
+                completion_ratio=ratio,
+            )
+        _log.debug(
+            "backed out trace %d @ pc %d (completion ratio %.2f)",
+            trace.trace_id, trace.head_pc, ratio,
+        )
         attempts = self._backout_counts.get(trace.head_pc, 0) + 1
         self._backout_counts[trace.head_pc] = attempts
         if attempts <= cfg.backout_max_retries:
@@ -184,7 +231,7 @@ class TridentRuntime:
     # ------------------------------------------------------------------
     # Phase detection (optional extension; off by default).
     # ------------------------------------------------------------------
-    def _observe_phase(self, is_miss: bool) -> None:
+    def _observe_phase(self, is_miss: bool, cycle: float = 0.0) -> None:
         cfg = self.trident
         self._phase_loads += 1
         if is_miss:
@@ -200,13 +247,29 @@ class TridentRuntime:
             return
         floor = max(prev, 0.02)
         if abs(rate - prev) > cfg.phase_shift_threshold * floor:
-            self._on_phase_change()
+            self._on_phase_change(cycle, prev_rate=prev, new_rate=rate)
 
-    def _on_phase_change(self) -> None:
+    def _on_phase_change(
+        self,
+        cycle: float = 0.0,
+        prev_rate: float = 0.0,
+        new_rate: float = 0.0,
+    ) -> None:
         """A working-set shift: matured loads may be tunable again, so
         clear every mature flag (DLT entries and repair records) and
         refresh the records' budgets."""
         self.phase_changes += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "phase_change",
+                cycle,
+                prev_miss_rate=prev_rate,
+                new_miss_rate=new_rate,
+            )
+        _log.info(
+            "phase change at cycle %.0f (miss rate %.3f -> %.3f)",
+            cycle, prev_rate, new_rate,
+        )
         for entry in self.dlt.entries():
             entry.mature = False
         seen = set()
@@ -260,7 +323,8 @@ class TridentRuntime:
         if self.code_cache.lookup(event.head_pc) is not None:
             return  # already linked (duplicate event)
         trace = form_trace(
-            self.program, event.head_pc, event.directions, self.trident
+            self.program, event.head_pc, event.directions, self.trident,
+            ids=self.trace_ids,
         )
         if trace is None:
             return
@@ -276,6 +340,20 @@ class TridentRuntime:
             )
             self.traces_linked += 1
             self.trace_load_pcs.update(trace.load_pcs())
+            if self.obs is not None:
+                # Runs inside the helper job: stamped at job completion
+                # via the observer's logical clock.
+                self.obs.emit(
+                    "trace_link",
+                    None,
+                    trace_id=trace.trace_id,
+                    head_pc=trace.head_pc,
+                    length=len(trace.body),
+                )
+            _log.debug(
+                "linked trace %d @ pc %d (%d instructions)",
+                trace.trace_id, trace.head_pc, len(trace.body),
+            )
 
         self.helper.schedule(cycle, work, apply, kind="form")
 

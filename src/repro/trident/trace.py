@@ -26,6 +26,24 @@ def next_trace_id() -> int:
     return next(_trace_ids)
 
 
+class TraceIdAllocator:
+    """Per-runtime trace-id sequence.
+
+    Each :class:`~repro.trident.runtime.TridentRuntime` owns one, so two
+    identically-configured runs number their traces identically — the
+    observability layer's exported event streams (which carry trace ids)
+    must be byte-for-byte reproducible.  The module-global counter
+    remains as the fallback for direct ``form_trace``/``derive`` calls
+    (tests, tooling), where only uniqueness matters.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+
+    def next(self) -> int:
+        return next(self._ids)
+
+
 @dataclass(eq=False)
 class TraceInstruction:
     """One instruction inside a hot trace."""
@@ -87,11 +105,15 @@ class HotTrace:
     def prefetch_instructions(self) -> List[TraceInstruction]:
         return [t for t in self.body if t.inst.is_prefetch]
 
-    def derive(self, body: List[TraceInstruction]) -> "HotTrace":
+    def derive(
+        self,
+        body: List[TraceInstruction],
+        ids: Optional[TraceIdAllocator] = None,
+    ) -> "HotTrace":
         """A re-optimized successor trace (new id, same head, bumped
         version); meta is carried over so repair state survives."""
         return HotTrace(
-            trace_id=next_trace_id(),
+            trace_id=ids.next() if ids is not None else next_trace_id(),
             head_pc=self.head_pc,
             body=body,
             fallthrough_pc=self.fallthrough_pc,

@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 from ..config import TridentConfig
 from ..isa.opcodes import Opcode
 from ..isa.program import Program
-from .trace import HotTrace, TraceInstruction, next_trace_id
+from .trace import HotTrace, TraceIdAllocator, TraceInstruction, next_trace_id
 
 
 def form_trace(
@@ -24,6 +24,7 @@ def form_trace(
     head_pc: int,
     directions: Sequence[bool],
     config: TridentConfig,
+    ids: Optional[TraceIdAllocator] = None,
 ) -> Optional[HotTrace]:
     """Build a hot trace, or None when nothing useful can be formed."""
     body = []
@@ -68,7 +69,7 @@ def form_trace(
         return None
 
     return HotTrace(
-        trace_id=next_trace_id(),
+        trace_id=ids.next() if ids is not None else next_trace_id(),
         head_pc=head_pc,
         body=body,
         fallthrough_pc=pc,

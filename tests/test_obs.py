@@ -1,0 +1,212 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventRing,
+    MetricsRegistry,
+    Observer,
+    TimelineCollector,
+    TraceEvent,
+    chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.sampling import IntervalSampler
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("h", bounds=(3, 11, 35))
+        h.observe(3)    # lands in the 3-bucket, not the 11-bucket
+        h.observe(4)    # 11-bucket
+        h.observe(11)   # 11-bucket
+        h.observe(12)   # 35-bucket
+        h.observe(35)   # 35-bucket
+        h.observe(36)   # overflow
+        assert h.counts == [1, 2, 2, 1]
+        assert h.count == 6
+
+    def test_summary_stats(self):
+        h = Histogram("h", bounds=(10,))
+        for v in (2, 4, 6):
+            h.observe(v)
+        assert h.min == 2 and h.max == 6
+        assert h.mean == pytest.approx(4.0)
+        snap = h.snapshot()
+        assert snap["counts"] == [3, 0]
+        assert snap["total"] == 12
+
+    def test_bounds_are_sorted_and_required(self):
+        assert Histogram("h", bounds=(35, 3, 11)).bounds == (3, 11, 35)
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c", (1, 2)) is reg.histogram("c")
+
+    def test_cross_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x", (1,))
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.set_many({"g": 1.5})
+        reg.histogram("h", (1, 2)).observe(1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serialisable
+
+
+class TestEventRing:
+    def test_overflow_keeps_newest_and_counts_drops(self):
+        ring = EventRing(capacity=4)
+        for i in range(10):
+            ring.append(TraceEvent(float(i), "k", {"i": i}))
+        kept = [e.fields["i"] for e in ring.events()]
+        assert kept == [6, 7, 8, 9]
+        assert ring.dropped == 6
+        assert ring.total_emitted == 10
+        assert ring.summary()["buffered"] == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+
+
+class TestObserver:
+    def test_emit_without_cycle_uses_logical_clock(self):
+        obs = Observer()
+        obs.now = 123.0
+        obs.emit("repair", None, pc=1, new_distance=2)
+        assert obs.events()[0].cycle == 123.0
+
+    def test_snapshot_includes_samples_only_when_sampling(self):
+        assert "samples" not in Observer().snapshot()
+        assert Observer(sample_interval=10).snapshot()["samples"] == []
+
+
+class TestSampler:
+    def test_window_deltas(self):
+        s = IntervalSampler(100)
+        s.start(instructions=1000, cycles=2000.0, loads=10, misses=2)
+        sample = s.record(
+            instructions=1100, cycles=2400.0, loads=60, misses=12
+        )
+        assert sample.instructions == 100
+        assert sample.cycles == 400.0
+        assert sample.ipc == pytest.approx(0.25)
+        assert sample.miss_rate == pytest.approx(10 / 50)
+        assert sample.end_instruction == 1100
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(0)
+
+
+class TestTimelineCollector:
+    def _collector_with_group(self):
+        tc = TimelineCollector()
+        tc.on_event(
+            100.0,
+            "insert",
+            {"load_pcs": [3, 4, 7], "distance": 1, "prefetch_kind": "stride"},
+        )
+        return tc
+
+    def test_insert_then_repairs_build_trajectory(self):
+        tc = self._collector_with_group()
+        tc.on_event(
+            200.0,
+            "repair",
+            {"pc": 3, "new_distance": 2, "avg_latency": 40.0},
+        )
+        tc.on_event(
+            300.0,
+            "repair",
+            {"pc": 3, "new_distance": 3, "avg_latency": 38.0,
+             "mature": True},
+        )
+        (tl,) = tc.timelines()
+        assert tl.pc == 3
+        assert tl.distance_trajectory() == [
+            (100.0, 1), (200.0, 2), (300.0, 3),
+        ]
+        assert tl.final_distance == 3
+        assert tl.mature and tl.mature_cycle == 300.0
+
+    def test_member_pc_events_land_on_group_lead(self):
+        tc = self._collector_with_group()
+        tc.on_event(150.0, "dl_event", {"pc": 7})
+        tc.on_event(250.0, "mature", {"pc": 4})
+        (tl,) = tc.timelines()
+        assert tl.dl_events == 1
+        assert tl.mature
+
+    def test_events_for_unknown_pcs_ignored(self):
+        tc = TimelineCollector()
+        tc.on_event(1.0, "repair", {"pc": 99, "new_distance": 2})
+        tc.on_event(1.0, "dl_event", {"pc": 99})
+        assert len(tc) == 0
+
+
+class TestChromeTrace:
+    def _events(self):
+        return [
+            TraceEvent(10.0, "dl_event", {"pc": 3}),
+            TraceEvent(20.0, "helper_begin", {"job": "repair", "ready": 50.0}),
+            TraceEvent(
+                50.0, "helper_end", {"job": "repair", "began": 20.0}
+            ),
+            TraceEvent(60.0, "fill", {"level": "l3", "block": 7}),
+            TraceEvent(70.0, "fault", {"fault": "dram_latency"}),
+            TraceEvent(80.0, "sample", {"ipc": 0.5, "miss_rate": 0.1}),
+        ]
+
+    def test_schema_valid_and_typed(self):
+        payload = chrome_trace(self._events(), metadata={"w": "mcf"})
+        assert validate_chrome_trace(payload) == []
+        by_ph = {}
+        for event in payload["traceEvents"]:
+            by_ph.setdefault(event["ph"], []).append(event)
+        # helper job is one complete slice (begin marker elided)
+        (slice_,) = by_ph["X"]
+        assert slice_["name"] == "helper:repair"
+        assert slice_["ts"] == 20.0 and slice_["dur"] == 30.0
+        # the sample became two counter events
+        assert {e["name"] for e in by_ph["C"]} == {
+            "windowed IPC", "windowed miss rate",
+        }
+        # metadata names every track
+        assert any(e["name"] == "process_name" for e in by_ph["M"])
+
+    def test_tracks_route_by_kind(self):
+        payload = chrome_trace(self._events())
+        tids = {
+            e["name"]: e["tid"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "i"
+        }
+        assert tids["dl_event"] != tids["fill"] != tids["fault"]
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        bad = {"traceEvents": [{"ph": "Z", "name": "x"}]}
+        assert any("invalid ph" in p for p in validate_chrome_trace(bad))
+        assert validate_chrome_trace([]) == ["top level is not an object"]

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Render repair-timeline JSONL as markdown with ASCII distance charts.
+
+Input: the per-PC timeline records written by
+``python -m repro timeline <workload> --json-out timelines.jsonl``
+(one JSON object per line, the ``PCTimeline.to_dict`` schema).
+
+Output (stdout): one markdown section per prefetch group — its loads,
+delinquent-load event count, final state, the step table, and a
+distance-versus-cycle ASCII chart showing the section-3.5.2 search
+(1 → ... → max, with −1 steps where the latency rose).
+
+Usage::
+
+    python tools/render_timeline.py timelines.jsonl
+    python tools/render_timeline.py timelines.jsonl --width 72 --pc 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+
+def load_timelines(path: str) -> List[Dict]:
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+    return records
+
+
+def distance_chart(
+    trajectory: List[Tuple[float, int]], width: int
+) -> List[str]:
+    """ASCII chart: one row per distance value, cycles left to right.
+
+    Each column is one cycle bucket; the marker sits on the row of the
+    distance in force at that point of the search.
+    """
+    if not trajectory:
+        return ["(no distance-bearing steps)"]
+    cycles = [c for c, _d in trajectory]
+    distances = [d for _c, d in trajectory]
+    lo_d, hi_d = min(distances), max(distances)
+    lo_c, hi_c = min(cycles), max(cycles)
+    span_c = max(1.0, hi_c - lo_c)
+    cols = max(1, width - 12)
+
+    def col_of(cycle: float) -> int:
+        return min(cols - 1, int((cycle - lo_c) / span_c * (cols - 1)))
+
+    # Forward-fill: the distance holds between steps.
+    grid = {}
+    for (cycle, distance), nxt in zip(
+        trajectory, trajectory[1:] + [(hi_c, distances[-1])]
+    ):
+        for col in range(col_of(cycle), col_of(nxt[0]) + 1):
+            grid[col] = distance
+    lines = []
+    for d in range(hi_d, lo_d - 1, -1):
+        row = "".join(
+            "*" if grid.get(col) == d else
+            ("." if grid.get(col) is not None and grid[col] > d else " ")
+            for col in range(cols)
+        )
+        lines.append(f"  d={d:<3d} |{row}")
+    lines.append(f"        +{'-' * cols}")
+    lines.append(
+        f"        cycle {int(lo_c)} .. {int(hi_c)}"
+    )
+    return lines
+
+
+def render_record(record: Dict, width: int) -> str:
+    pcs = ", ".join(str(pc) for pc in record.get("load_pcs", []))
+    out = [
+        f"## pc {record.get('pc')} ({record.get('kind', 'stride')})",
+        "",
+        f"- loads: {pcs or '-'}",
+        f"- delinquent-load events: {record.get('dl_events', 0)}",
+        f"- final distance: {record.get('final_distance')}",
+    ]
+    if record.get("mature"):
+        out.append(
+            f"- matured at cycle {int(record.get('mature_cycle') or 0)}"
+        )
+    steps = record.get("steps", [])
+    if steps:
+        out += [
+            "",
+            "| cycle | event | distance | avg latency |",
+            "|------:|:------|---------:|------------:|",
+        ]
+        for step in steps:
+            distance = step.get("distance", "")
+            latency = step.get("avg_latency")
+            latency = f"{latency:.1f}" if latency is not None else ""
+            out.append(
+                f"| {int(step.get('cycle', 0))} | {step.get('kind', '?')} "
+                f"| {distance} | {latency} |"
+            )
+    trajectory = [
+        (step["cycle"], step["distance"])
+        for step in steps
+        if "distance" in step and step.get("distance") is not None
+    ]
+    out += ["", "```"] + distance_chart(trajectory, width) + ["```", ""]
+    return "\n".join(out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("jsonl", help="timeline JSONL file")
+    parser.add_argument(
+        "--width", type=int, default=72, help="chart width in columns"
+    )
+    parser.add_argument(
+        "--pc",
+        type=int,
+        default=None,
+        help="render only the group led by this PC",
+    )
+    args = parser.parse_args(argv)
+    records = load_timelines(args.jsonl)
+    if args.pc is not None:
+        records = [r for r in records if r.get("pc") == args.pc]
+        if not records:
+            print(f"no timeline for pc {args.pc}", file=sys.stderr)
+            return 1
+    if not records:
+        print("no timelines in input", file=sys.stderr)
+        return 1
+    print("# Repair timelines")
+    print()
+    for record in records:
+        print(render_record(record, args.width))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
