@@ -22,11 +22,11 @@ def _budget():
     return bench_instructions()
 
 
-def test_ablation_initial_distance(benchmark, report):
+def test_ablation_initial_distance(benchmark, report, engine):
     result = benchmark.pedantic(
         ablation_initial_distance,
         args=(sweep_workloads(), _budget()),
-        kwargs={"warmup_instructions": bench_warmup()},
+        kwargs={"warmup_instructions": bench_warmup(), "engine": engine},
         iterations=1,
         rounds=1,
     )
@@ -42,11 +42,11 @@ def test_ablation_initial_distance(benchmark, report):
     assert close >= len(names) / 2
 
 
-def test_ablation_grouping(benchmark, report):
+def test_ablation_grouping(benchmark, report, engine):
     result = benchmark.pedantic(
         ablation_grouping,
         args=(sweep_workloads(), _budget()),
-        kwargs={"warmup_instructions": bench_warmup()},
+        kwargs={"warmup_instructions": bench_warmup(), "engine": engine},
         iterations=1,
         rounds=1,
     )
@@ -54,11 +54,11 @@ def test_ablation_grouping(benchmark, report):
     assert result.variants
 
 
-def test_ablation_confidence_penalty(benchmark, report):
+def test_ablation_confidence_penalty(benchmark, report, engine):
     result = benchmark.pedantic(
         ablation_confidence_penalty,
         args=(sweep_workloads(), _budget()),
-        kwargs={"warmup_instructions": bench_warmup()},
+        kwargs={"warmup_instructions": bench_warmup(), "engine": engine},
         iterations=1,
         rounds=1,
     )
@@ -66,11 +66,11 @@ def test_ablation_confidence_penalty(benchmark, report):
     assert "-7" in result.variants
 
 
-def test_ablation_repair_budget(benchmark, report):
+def test_ablation_repair_budget(benchmark, report, engine):
     result = benchmark.pedantic(
         ablation_repair_budget,
         args=(sweep_workloads(), _budget()),
-        kwargs={"warmup_instructions": bench_warmup()},
+        kwargs={"warmup_instructions": bench_warmup(), "engine": engine},
         iterations=1,
         rounds=1,
     )
@@ -78,13 +78,13 @@ def test_ablation_repair_budget(benchmark, report):
     assert "2.0x" in result.variants
 
 
-def test_ablation_phase_detection(benchmark, report):
+def test_ablation_phase_detection(benchmark, report, engine):
     from repro.harness.sweep import ablation_phase_detection
 
     result = benchmark.pedantic(
         ablation_phase_detection,
         args=(sweep_workloads(), _budget()),
-        kwargs={"warmup_instructions": bench_warmup()},
+        kwargs={"warmup_instructions": bench_warmup(), "engine": engine},
         iterations=1,
         rounds=1,
     )
@@ -92,13 +92,13 @@ def test_ablation_phase_detection(benchmark, report):
     assert len(result.variants) == 2
 
 
-def test_ablation_markov(benchmark, report):
+def test_ablation_markov(benchmark, report, engine):
     from repro.harness.sweep import ablation_markov
 
     result = benchmark.pedantic(
         ablation_markov,
         args=(["dot", "mcf", "parser"], _budget()),
-        kwargs={"warmup_instructions": bench_warmup()},
+        kwargs={"warmup_instructions": bench_warmup(), "engine": engine},
         iterations=1,
         rounds=1,
     )

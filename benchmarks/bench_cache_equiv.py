@@ -9,9 +9,9 @@ from conftest import shapes_asserted
 from repro.harness.experiments import cache_equivalent_area
 
 
-def test_cache_equivalent_area(benchmark, report):
+def test_cache_equivalent_area(benchmark, report, engine):
     result = benchmark.pedantic(
-        cache_equivalent_area, iterations=1, rounds=1
+        cache_equivalent_area, kwargs={"engine": engine}, iterations=1, rounds=1
     )
     report("cache_equiv", result.render())
     if not shapes_asserted():

@@ -9,9 +9,9 @@ from conftest import shapes_asserted
 from repro.harness.experiments import fig2_hw_baseline
 
 
-def test_fig2_hw_baseline(benchmark, report):
+def test_fig2_hw_baseline(benchmark, report, engine):
     result = benchmark.pedantic(
-        fig2_hw_baseline, iterations=1, rounds=1
+        fig2_hw_baseline, kwargs={"engine": engine}, iterations=1, rounds=1
     )
     report("fig2_hw_baseline", result.render())
     # Shape: both configurations help on average.  8x8 wins wherever the

@@ -12,8 +12,10 @@ from conftest import shapes_asserted
 from repro.harness.experiments import fig3_overhead
 
 
-def test_fig3_overhead(benchmark, report):
-    result = benchmark.pedantic(fig3_overhead, iterations=1, rounds=1)
+def test_fig3_overhead(benchmark, report, engine):
+    result = benchmark.pedantic(
+        fig3_overhead, kwargs={"engine": engine}, iterations=1, rounds=1
+    )
     report("fig3_overhead", result.render())
     # The optimize-but-don't-link configuration must be nearly free.
     if not shapes_asserted():

@@ -11,8 +11,10 @@ from conftest import shapes_asserted
 from repro.harness.experiments import fig4_coverage
 
 
-def test_fig4_coverage(benchmark, report):
-    result = benchmark.pedantic(fig4_coverage, iterations=1, rounds=1)
+def test_fig4_coverage(benchmark, report, engine):
+    result = benchmark.pedantic(
+        fig4_coverage, kwargs={"engine": engine}, iterations=1, rounds=1
+    )
     report("fig4_coverage", result.render())
     if not shapes_asserted():
         return

@@ -12,8 +12,10 @@ from conftest import shapes_asserted
 from repro.harness.experiments import fig5_policies
 
 
-def test_fig5_policies(benchmark, report):
-    result = benchmark.pedantic(fig5_policies, iterations=1, rounds=1)
+def test_fig5_policies(benchmark, report, engine):
+    result = benchmark.pedantic(
+        fig5_policies, kwargs={"engine": engine}, iterations=1, rounds=1
+    )
     report("fig5_policies", result.render())
     if not shapes_asserted():
         return

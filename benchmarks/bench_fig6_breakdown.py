@@ -11,8 +11,10 @@ from repro.harness.experiments import fig6_breakdown
 from repro.harness.report import arithmetic_mean
 
 
-def test_fig6_breakdown(benchmark, report):
-    result = benchmark.pedantic(fig6_breakdown, iterations=1, rounds=1)
+def test_fig6_breakdown(benchmark, report, engine):
+    result = benchmark.pedantic(
+        fig6_breakdown, kwargs={"engine": engine}, iterations=1, rounds=1
+    )
     report("fig6_breakdown", result.render())
     if not shapes_asserted():
         return

@@ -10,10 +10,10 @@ from conftest import shapes_asserted, sweep_workloads
 from repro.harness.experiments import fig8_dlt_sweep
 
 
-def test_fig8_dlt_sweep(benchmark, report):
+def test_fig8_dlt_sweep(benchmark, report, engine):
     result = benchmark.pedantic(
         fig8_dlt_sweep,
-        kwargs={"workloads": sweep_workloads()},
+        kwargs={"workloads": sweep_workloads(), "engine": engine},
         iterations=1,
         rounds=1,
     )

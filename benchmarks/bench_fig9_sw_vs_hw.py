@@ -11,8 +11,10 @@ from conftest import shapes_asserted
 from repro.harness.experiments import fig9_sw_vs_hw
 
 
-def test_fig9_sw_vs_hw(benchmark, report):
-    result = benchmark.pedantic(fig9_sw_vs_hw, iterations=1, rounds=1)
+def test_fig9_sw_vs_hw(benchmark, report, engine):
+    result = benchmark.pedantic(
+        fig9_sw_vs_hw, kwargs={"engine": engine}, iterations=1, rounds=1
+    )
     report("fig9_sw_vs_hw", result.render())
     if not shapes_asserted():
         return

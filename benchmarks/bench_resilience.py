@@ -14,10 +14,10 @@ from conftest import shapes_asserted, sweep_workloads
 from repro.harness.experiments import resilience
 
 
-def test_resilience(benchmark, report):
+def test_resilience(benchmark, report, engine):
     result = benchmark.pedantic(
         resilience,
-        kwargs={"workloads": sweep_workloads()},
+        kwargs={"workloads": sweep_workloads(), "engine": engine},
         iterations=1,
         rounds=1,
     )

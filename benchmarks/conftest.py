@@ -10,9 +10,15 @@ Budgets honour the environment knobs::
     REPRO_BENCH_INSTRUCTIONS   measured instructions per run (default 120k)
     REPRO_BENCH_WARMUP         warmup instructions per run   (default 200k)
     REPRO_BENCH_WORKLOADS      comma-separated subset of benchmarks
+    REPRO_BENCH_JOBS           experiment-engine worker processes (default 1)
 
 The sensitivity sweeps (Figures 7/8) and ablations default to a
 representative workload subset; export REPRO_BENCH_WORKLOADS to widen.
+
+Every bench routes its simulations through one shared
+:class:`repro.harness.engine.ExperimentEngine` (the ``engine`` fixture),
+so the HW_ONLY baselines the figures have in common are simulated once
+per budget and replayed from the content-addressed cache everywhere else.
 """
 
 from __future__ import annotations
@@ -33,6 +39,26 @@ def sweep_workloads():
     if raw:
         return [n.strip() for n in raw.split(",") if n.strip()]
     return list(SWEEP_WORKLOADS)
+
+
+def bench_jobs() -> int:
+    """Worker-process count for the experiment engine."""
+    raw = os.environ.get("REPRO_BENCH_JOBS", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """One experiment engine for the whole bench session: shared result
+    cache, shared worker pool size, cumulative stats."""
+    from repro.harness.engine import ExperimentEngine
+
+    eng = ExperimentEngine(workers=bench_jobs())
+    yield eng
+    print(f"\n{eng.stats.summary()}")
 
 
 def shapes_asserted() -> bool:

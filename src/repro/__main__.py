@@ -25,6 +25,7 @@ from .config import PrefetchPolicy
 from .errors import ReproError
 from .faults.plan import FaultPlan
 from .harness import experiments
+from .harness.engine import ExperimentEngine, make_job
 from .harness.report import render_mapping, render_timeline
 from .harness.runner import run_simulation
 from .logutil import configure_logging
@@ -43,6 +44,41 @@ _FIGURES = {
     "cache": experiments.cache_equivalent_area,
     "resilience": experiments.resilience,
 }
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The experiment-engine knobs shared by run/figure/timeline."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=1,
+        help=(
+            "fan simulations out over N worker processes "
+            "(results are re-ordered into submission order, so the "
+            "output is identical to --jobs 1)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "bypass the content-addressed result cache "
+            "(REPRO_CACHE_DIR, default ~/.cache/repro) entirely"
+        ),
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-simulate every job and overwrite its cache entry",
+    )
+
+
+def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+    kwargs = {"workers": args.jobs, "refresh": args.refresh}
+    if args.no_cache:
+        kwargs["cache"] = None
+    return ExperimentEngine(**kwargs)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -142,6 +178,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "committed instructions (implies observation)"
         ),
     )
+    _add_engine_args(run)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=sorted(_FIGURES))
@@ -161,6 +198,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "export a Perfetto-loadable Chrome trace here"
         ),
     )
+    _add_engine_args(fig)
 
     timeline = sub.add_parser(
         "timeline",
@@ -184,6 +222,10 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the timelines as JSONL (one record per PC)",
     )
+    # Accepted for CLI symmetry: a timeline needs the live observer's
+    # repair-timeline tracker, so the single run stays in-process and
+    # --jobs/--no-cache/--refresh change nothing.
+    _add_engine_args(timeline)
 
     traces = sub.add_parser(
         "traces",
@@ -212,6 +254,7 @@ def _build_parser() -> argparse.ArgumentParser:
     claims.add_argument("--workloads", default=None)
     claims.add_argument("--instructions", type=int, default=None)
     claims.add_argument("--warmup", type=int, default=None)
+    _add_engine_args(claims)
     return parser
 
 
@@ -226,22 +269,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.inject:
         fault_plan = FaultPlan.load(args.inject)
-    observer = None
     if args.trace_out or args.metrics_out or args.sample_interval:
+        # Trace/metrics export needs the live observer object, which a
+        # cached replay or pool worker cannot provide: run in-process,
+        # bypassing the engine (identical results either way).
         observer = Observer(sample_interval=args.sample_interval)
-    result = run_simulation(
-        args.workload,
-        policy=PrefetchPolicy(args.policy),
-        max_instructions=args.instructions,
-        warmup_instructions=args.warmup,
-        seed=args.seed,
-        fault_plan=fault_plan,
-        max_cycles=args.max_cycles,
-        wall_time_limit=args.wall_time_limit,
-        observer=observer,
-    )
-    if observer is not None:
+        result = run_simulation(
+            args.workload,
+            policy=PrefetchPolicy(args.policy),
+            max_instructions=args.instructions,
+            warmup_instructions=args.warmup,
+            seed=args.seed,
+            fault_plan=fault_plan,
+            max_cycles=args.max_cycles,
+            wall_time_limit=args.wall_time_limit,
+            observer=observer,
+        )
         _export_observer(observer, args, workload=args.workload)
+    else:
+        engine = _engine_from_args(args)
+        job = make_job(
+            args.workload,
+            policy=PrefetchPolicy(args.policy),
+            max_instructions=args.instructions,
+            warmup_instructions=args.warmup,
+            seed=args.seed,
+            fault_plan=fault_plan,
+            max_cycles=args.max_cycles,
+            wall_time_limit=args.wall_time_limit,
+        )
+        outcome = engine.run([job], isolate=False)[0]
+        result = outcome.result
+        if outcome.cached:
+            print(
+                "result replayed from cache (--refresh to re-simulate)",
+                file=sys.stderr,
+            )
     if args.json:
         import json
 
@@ -322,8 +385,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             )
             return 2
         kwargs["trace_out"] = args.trace_out
+    engine = _engine_from_args(args)
+    kwargs["engine"] = engine
     result = _FIGURES[args.figure](**kwargs)
     print(result.render())
+    print(engine.stats.summary(), file=sys.stderr)
     return 0
 
 
@@ -439,12 +505,15 @@ def _cmd_claims(args: argparse.Namespace) -> int:
     workloads = None
     if args.workloads:
         workloads = [w.strip() for w in args.workloads.split(",")]
+    engine = _engine_from_args(args)
     verdicts = evaluate_claims(
         workloads=workloads,
         max_instructions=args.instructions,
         warmup=args.warmup,
+        engine=engine,
     )
     print(render_verdicts(verdicts))
+    print(engine.stats.summary(), file=sys.stderr)
     return 0 if all(v.ok for v in verdicts) else 1
 
 

@@ -261,6 +261,13 @@ class TridentConfig:
     #: regenerating a trace — the point of section 3.5.1).
     repair_cycles: int = 400
 
+    #: Repair-budget multiplier: a record's distance search gets
+    #: ``multiplier × max distance`` repair steps before maturing
+    #: (section 3.5.2; the paper uses 2).  A real config field — rather
+    #: than the monkeypatch the ablation used to apply — so the budget
+    #: sweep is process-safe and content-addressable by the result cache.
+    repair_budget_multiplier: float = 2.0
+
     # Trace backout (Trident's watch-table duty: "identify and back out
     # of hot traces that are under-performing").
     #: Executions observed before a trace is judged.
@@ -285,6 +292,9 @@ class TridentConfig:
 
     def with_dlt(self, dlt: DLTConfig) -> "TridentConfig":
         return replace(self, dlt=dlt)
+
+    def with_repair_budget(self, multiplier: float) -> "TridentConfig":
+        return replace(self, repair_budget_multiplier=multiplier)
 
 
 @dataclass(frozen=True)

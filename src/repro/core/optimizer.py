@@ -358,7 +358,8 @@ class PrefetchOptimizer:
                 continue
             seen.add(id(record))
             record.set_budget_from_max(
-                max_distance(self.machine.memory_latency, min_time)
+                max_distance(self.machine.memory_latency, min_time),
+                multiplier=self.trident.repair_budget_multiplier,
             )
 
     def _repair_one(self, trace: HotTrace, record: PrefetchRecord) -> None:
@@ -372,7 +373,8 @@ class PrefetchOptimizer:
         # The maximal distance tracks the trace's best observed pass.
         min_time = self.watch_table.min_execution_time(trace.trace_id)
         record.set_budget_from_max(
-            max_distance(self.machine.memory_latency, min_time)
+            max_distance(self.machine.memory_latency, min_time),
+            multiplier=self.trident.repair_budget_multiplier,
         )
         # Measure the group through its worst currently-monitored member
         # (the member that keeps it delinquent).

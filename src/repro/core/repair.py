@@ -82,11 +82,14 @@ class PrefetchRecord:
         for inst, offset in zip(self.instructions, self.base_offsets):
             inst.disp = offset + self.stride * self.distance
 
-    def set_budget_from_max(self, max_distance: int) -> None:
-        """Initialise the repair budget to 2 × max distance (section
-        3.5.2), never shrinking an existing budget mid-search."""
+    def set_budget_from_max(
+        self, max_distance: int, multiplier: float = 2.0
+    ) -> None:
+        """Initialise the repair budget to ``multiplier × max distance``
+        (section 3.5.2's rule; the paper's multiplier is 2), never
+        shrinking an existing budget mid-search."""
         self.max_distance = max_distance
-        budget = 2 * max_distance
+        budget = max(1, int(multiplier * max_distance))
         if budget > self.repairs_left:
             self.repairs_left = budget
 

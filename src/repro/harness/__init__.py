@@ -1,8 +1,17 @@
 """Experiment harness: simulation driver, paper-figure experiments,
 reporting, and ablation sweeps."""
 
+from .cache import ResultCache, code_version, stable_hash
 from .charts import bar_chart, grouped_bar_chart
 from .claims import CLAIMS, evaluate_claims, render_verdicts
+from .engine import (
+    EngineStats,
+    ExperimentEngine,
+    JobOutcome,
+    SimJob,
+    make_job,
+    run_workload_groups,
+)
 from .experiments import (
     bench_instructions,
     bench_workloads,
@@ -37,8 +46,17 @@ from .sweep import (
 
 __all__ = [
     "AblationResult",
+    "EngineStats",
+    "ExperimentEngine",
+    "JobOutcome",
+    "ResultCache",
+    "SimJob",
     "Simulation",
     "SimulationResult",
+    "code_version",
+    "make_job",
+    "run_workload_groups",
+    "stable_hash",
     "ablation_confidence_penalty",
     "ablation_grouping",
     "ablation_initial_distance",

@@ -1,0 +1,185 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every simulation here is deterministic (PR 2 made runs bit-for-bit
+reproducible), so a result is a pure function of its full job
+specification — workload, machine/Trident configuration, budgets, fault
+plan, sampling interval — plus the simulator source itself.  The cache
+exploits that: a :class:`ResultCache` entry is keyed by a stable SHA-256
+over the canonical JSON of the job spec *and* a code-version stamp
+hashed over every ``repro`` source file, so any change to the simulator
+silently invalidates every prior entry.
+
+Entries store ``SimulationResult.to_dict()`` (plus the wall time the
+original run cost, so the engine can report time saved).  Writes are
+atomic — payload goes to a same-directory temp file first, then
+``os.replace`` — so concurrent writers (parallel engine workers, two
+bench invocations) can never tear an entry; last writer wins with an
+identical payload anyway.  A corrupted or truncated entry is treated as
+a miss, never an error.
+
+The cache root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; entries
+live under ``<root>/results/<key[:2]>/<key>.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import pathlib
+import threading
+from typing import Dict, Optional
+
+from ..logutil import get_logger
+
+_log = get_logger("cache")
+
+#: Bumped whenever the entry payload layout changes; part of the key, so
+#: old-layout entries become unreachable rather than misparsed.
+SCHEMA_VERSION = 1
+
+#: Environment override for the cache root directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Environment override for the code-version stamp (tests use this to
+#: simulate a source change without editing files).
+ENV_CODE_VERSION = "REPRO_CODE_VERSION"
+
+_code_version_cache: Optional[str] = None
+
+#: Monotonic suffix keeping same-thread temp files distinct too.
+_tmp_counter = itertools.count()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def code_version() -> str:
+    """A stamp that changes whenever any ``repro`` source file changes.
+
+    SHA-256 over every ``.py`` file under the package directory (relative
+    path + contents, sorted), memoised per process.  ``REPRO_CODE_VERSION``
+    overrides it, which tests use to exercise invalidation.
+    """
+    env = os.environ.get(ENV_CODE_VERSION)
+    if env:
+        return env
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.glob("**/*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+def stable_hash(spec: Dict) -> str:
+    """SHA-256 of the canonical (sorted, compact) JSON of ``spec``."""
+    canonical = json.dumps(
+        spec, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of serialised simulation results.
+
+    All I/O failure modes degrade to "cache off" behaviour: an unwritable
+    root skips stores, an unreadable or corrupt entry is a miss.  The
+    simulation always wins over the cache.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths.
+    # ------------------------------------------------------------------
+    def key_for(self, spec: Dict) -> str:
+        """The content address of a job spec (code version included)."""
+        return stable_hash(
+            {
+                "schema": SCHEMA_VERSION,
+                "code_version": code_version(),
+                "spec": spec,
+            }
+        )
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / "results" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store.
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored payload for ``key``, or None on miss/corruption.
+
+        The payload is ``{"schema", "spec", "elapsed_s", "result"}``;
+        anything that does not parse to that shape is a miss.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SCHEMA_VERSION
+            or not isinstance(payload.get("result"), dict)
+        ):
+            _log.debug("cache entry %s has a bad shape; treating as miss", key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(
+        self, key: str, spec: Dict, result: Dict, elapsed_s: float
+    ) -> bool:
+        """Atomically store one result; returns False when storage fails."""
+        path = self.path_for(key)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "spec": spec,
+            "elapsed_s": elapsed_s,
+            "result": result,
+        }
+        # Unique per process, thread, and call: concurrent writers (pool
+        # workers, threaded benches) must never share a temp file.
+        tmp = path.with_name(
+            f".{path.name}.tmp.{os.getpid()}."
+            f"{threading.get_ident()}.{next(_tmp_counter)}"
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Insertion order is preserved deliberately: a replayed
+            # result's to_dict() must be byte-identical to the live
+            # run's, ordering included (sorting here would alphabetise
+            # nested dicts like the load-outcome breakdown).
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except OSError as exc:
+            _log.debug("cache store failed for %s: %s", key, exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True

@@ -163,11 +163,17 @@ def evaluate_claims(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    engine=None,
 ) -> List[Verdict]:
-    """Run the experiments each claim needs and grade all claims."""
+    """Run the experiments each claim needs and grade all claims.
+
+    An :class:`~repro.harness.engine.ExperimentEngine` may be passed so
+    the figures share one cache/worker pool; figures that repeat a
+    baseline (fig2's HW runs, fig9's) then cost one simulation total.
+    """
     kwargs = dict(
         workloads=workloads, max_instructions=max_instructions,
-        warmup=warmup,
+        warmup=warmup, engine=engine,
     )
     cache: Dict = {
         "fig2": E.fig2_hw_baseline(**kwargs),

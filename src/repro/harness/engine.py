@@ -1,0 +1,402 @@
+"""Parallel experiment engine: job specs, fan-out, and result caching.
+
+Every paper figure and ablation is a grid of independent, deterministic
+simulations.  The engine turns that grid into explicit :class:`SimJob`
+specs and executes them through three interchangeable paths that are
+proven equivalent by ``tests/test_engine_equivalence.py``:
+
+* **in-process** (``workers=1``) — each job runs exactly like the legacy
+  ``run_simulation`` call it replaces;
+* **parallel** (``workers=N``) — jobs fan out over a
+  ``ProcessPoolExecutor``; results are pickled back and re-ordered into
+  submission order, so output never depends on completion order;
+* **cached** — a :class:`~repro.harness.cache.ResultCache` hit replays
+  the stored ``SimulationResult.to_dict()`` without simulating at all.
+
+Because jobs are content-addressed, the HW_ONLY baseline a dozen sweeps
+share is simulated once per (workload, budget) and replayed everywhere
+else — the figure suite drops from hours to minutes.
+
+Worker processes deliberately attach **no observer** unless the job asks
+for interval sampling (``sample_interval``): observation hooks are off
+by default in children, which cannot perturb results — the obs layer
+never touches simulated timing (DESIGN.md §5b) — but keeps the pickled
+result payload small.  Trace/metrics *export* needs the live observer
+object and therefore stays an in-process, engine-bypassing concern of
+the CLI.
+
+Error isolation reuses ``run_isolated`` semantics per job: a failing
+job becomes an error record (transient failures earn one retry), and
+grouping helpers drop just that workload's rows from a figure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..config import (
+    MachineConfig,
+    PrefetchPolicy,
+    SimulationConfig,
+    TridentConfig,
+)
+from ..errors import ReproError
+from ..faults.plan import FaultPlan
+from ..logutil import get_logger
+from ..obs import MetricsRegistry, Observer
+from .cache import ResultCache
+from . import runner
+from .runner import SimulationResult
+
+_log = get_logger("engine")
+
+#: Sentinel distinguishing "use the default cache" from "no cache".
+_DEFAULT_CACHE = object()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation, fully specified and content-addressable.
+
+    ``group`` names the error-isolation unit (default: the workload) —
+    when any job of a group fails, figure helpers drop the whole group's
+    rows, matching the legacy per-workload ``run_isolated`` closures.
+    """
+
+    workload: str
+    config: SimulationConfig
+    initial_distance_mode: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
+    #: Attach an interval sampler in the worker (windowed IPC series on
+    #: ``result.samples``); part of the cache key since it changes the
+    #: result payload.
+    sample_interval: Optional[int] = None
+    group: str = ""
+
+    def spec(self) -> Dict:
+        """The canonical JSON-able description hashed into the cache key."""
+        return {
+            "workload": self.workload,
+            "config": _jsonify(dataclasses.asdict(self.config)),
+            "initial_distance_mode": self.initial_distance_mode,
+            "fault_plan": (
+                None if self.fault_plan is None else self.fault_plan.to_dict()
+            ),
+            "sample_interval": self.sample_interval,
+        }
+
+
+def _jsonify(value):
+    """Recursively reduce to JSON-safe types (enums to values)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def make_job(
+    workload: str,
+    policy: PrefetchPolicy = PrefetchPolicy.SELF_REPAIRING,
+    machine: Optional[MachineConfig] = None,
+    trident: Optional[TridentConfig] = None,
+    max_instructions: int = 200_000,
+    warmup_instructions: int = 0,
+    overhead_only: bool = False,
+    seed: int = 1,
+    initial_distance_mode: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_cycles: Optional[float] = None,
+    wall_time_limit: Optional[float] = None,
+    sample_interval: Optional[int] = None,
+    group: str = "",
+) -> SimJob:
+    """Build a :class:`SimJob` with ``run_simulation``'s signature."""
+    config = SimulationConfig(
+        machine=machine or MachineConfig(),
+        trident=trident or TridentConfig(),
+        policy=policy,
+        max_instructions=max_instructions,
+        warmup_instructions=warmup_instructions,
+        overhead_only=overhead_only,
+        seed=seed,
+        max_cycles=max_cycles,
+        wall_time_limit=wall_time_limit,
+    )
+    return SimJob(
+        workload=workload,
+        config=config,
+        initial_distance_mode=initial_distance_mode,
+        fault_plan=fault_plan,
+        sample_interval=sample_interval,
+        group=group,
+    )
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job: a result or an error record, never both."""
+
+    result: Optional[SimulationResult] = None
+    error: Optional[Dict] = None
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters over every ``run()`` of one engine."""
+
+    jobs_run: int = 0
+    jobs_cached: int = 0
+    jobs_failed: int = 0
+    #: Sum of the original wall time of every cache hit.
+    wall_time_saved_s: float = 0.0
+    wall_time_spent_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"engine: run={self.jobs_run} cached={self.jobs_cached} "
+            f"failed={self.jobs_failed} "
+            f"spent={self.wall_time_spent_s:.1f}s "
+            f"saved={self.wall_time_saved_s:.1f}s"
+        )
+
+
+def _execute_job(job: SimJob) -> Tuple[SimulationResult, float]:
+    """Run one job to completion (no isolation); returns (result, secs).
+
+    This is the single simulation seam for both the in-process path and
+    pool workers; the baseline-reuse regression test counts invocations
+    through ``runner.Simulation``.
+    """
+    observer = None
+    if job.sample_interval is not None:
+        observer = Observer(sample_interval=job.sample_interval)
+    started = time.perf_counter()
+    result = runner.Simulation(
+        job.workload,
+        job.config,
+        initial_distance_mode=job.initial_distance_mode,
+        fault_plan=job.fault_plan,
+        observer=observer,
+    ).run()
+    return result, time.perf_counter() - started
+
+
+def _error_record(job: SimJob, exc: BaseException, retried: bool) -> Dict:
+    record = {
+        "workload": job.workload,
+        "type": type(exc).__name__,
+        "error": str(exc),
+    }
+    if retried:
+        record["retried"] = True
+    return record
+
+
+def _worker(job: SimJob) -> JobOutcome:
+    """Pool entry point: isolate failures into records (picklable)."""
+    try:
+        result, elapsed = _execute_job(job)
+        return JobOutcome(result=result, elapsed_s=elapsed)
+    except Exception as exc:
+        if getattr(exc, "transient", False):
+            try:
+                result, elapsed = _execute_job(job)
+                return JobOutcome(result=result, elapsed_s=elapsed)
+            except Exception as retry_exc:
+                return JobOutcome(
+                    error=_error_record(job, retry_exc, retried=True)
+                )
+        return JobOutcome(error=_error_record(job, exc, retried=False))
+
+
+class ExperimentEngine:
+    """Executes :class:`SimJob` batches with caching and fan-out.
+
+    ``workers=1`` (the default) runs jobs sequentially in-process —
+    bit-identical to the legacy serial harness.  ``workers=N`` fans the
+    uncached jobs out over N processes.  Either way ``run()`` returns
+    one :class:`JobOutcome` per job **in submission order**.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Union[ResultCache, None, object] = _DEFAULT_CACHE,
+        refresh: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not isinstance(workers, int) or workers < 1:
+            raise ReproError(f"workers must be a positive int, got {workers!r}")
+        self.workers = workers
+        self.cache: Optional[ResultCache] = (
+            ResultCache() if cache is _DEFAULT_CACHE else cache
+        )
+        #: With refresh=True every job is re-simulated and re-stored.
+        self.refresh = refresh
+        self.stats = EngineStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, jobs: Sequence[SimJob], isolate: bool = True
+    ) -> List[JobOutcome]:
+        """Execute every job; outcomes come back in submission order.
+
+        With ``isolate=False`` the first failure raises instead of
+        becoming an error record (single-run CLI semantics).
+        """
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        keys: List[Optional[str]] = [None] * len(jobs)
+        pending: List[int] = []
+        for index, job in enumerate(jobs):
+            key = None
+            if self.cache is not None:
+                key = self.cache.key_for(job.spec())
+            keys[index] = key
+            if key is not None and not self.refresh:
+                outcome = self._replay(key)
+                if outcome is not None:
+                    outcomes[index] = outcome
+                    continue
+            pending.append(index)
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                self._run_pool(jobs, pending, outcomes)
+            else:
+                for index in pending:
+                    outcomes[index] = self._run_inprocess(
+                        jobs[index], isolate
+                    )
+            for index in pending:
+                outcome = outcomes[index]
+                if outcome.ok and keys[index] is not None:
+                    self.cache.put(
+                        keys[index],
+                        jobs[index].spec(),
+                        outcome.result.to_dict(),
+                        outcome.elapsed_s,
+                    )
+
+        self._account(jobs, outcomes, isolate)
+        return outcomes
+
+    def run_all(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        """``run()`` with failures raised — for sweeps without isolation."""
+        outcomes = self.run(jobs, isolate=False)
+        return [outcome.result for outcome in outcomes]
+
+    # ------------------------------------------------------------------
+    def _replay(self, key: str) -> Optional[JobOutcome]:
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            result = SimulationResult.from_dict(payload["result"])
+        except Exception:
+            _log.debug("cache entry %s failed to replay; miss", key)
+            return None
+        elapsed = payload.get("elapsed_s", 0.0)
+        saved = elapsed if isinstance(elapsed, (int, float)) else 0.0
+        self.stats.wall_time_saved_s += saved
+        return JobOutcome(result=result, cached=True, elapsed_s=saved)
+
+    def _run_inprocess(self, job: SimJob, isolate: bool) -> JobOutcome:
+        if not isolate:
+            result, elapsed = _execute_job(job)
+            return JobOutcome(result=result, elapsed_s=elapsed)
+        return _worker(job)
+
+    def _run_pool(
+        self,
+        jobs: Sequence[SimJob],
+        pending: List[int],
+        outcomes: List[Optional[JobOutcome]],
+    ) -> None:
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_worker, jobs[index]): index for index in pending
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    outcomes[index] = future.result()
+                except Exception as exc:
+                    # A worker that died outright (BrokenProcessPool,
+                    # unpicklable payload) still yields a record, not a
+                    # crashed sweep.
+                    outcomes[index] = JobOutcome(
+                        error=_error_record(jobs[index], exc, retried=False)
+                    )
+
+    def _account(
+        self,
+        jobs: Sequence[SimJob],
+        outcomes: Sequence[JobOutcome],
+        isolate: bool,
+    ) -> None:
+        for job, outcome in zip(jobs, outcomes):
+            if outcome.cached:
+                self.stats.jobs_cached += 1
+            elif outcome.ok:
+                self.stats.jobs_run += 1
+                self.stats.wall_time_spent_s += outcome.elapsed_s
+            else:
+                self.stats.jobs_failed += 1
+                if not isolate:
+                    raise ReproError(
+                        f"simulation of {job.workload!r} failed: "
+                        f"{outcome.error['type']}: {outcome.error['error']}"
+                    )
+        metrics = self.metrics
+        metrics.gauge("engine.jobs_run").set(self.stats.jobs_run)
+        metrics.gauge("engine.jobs_cached").set(self.stats.jobs_cached)
+        metrics.gauge("engine.jobs_failed").set(self.stats.jobs_failed)
+        metrics.gauge("engine.wall_time_saved_s").set(
+            self.stats.wall_time_saved_s
+        )
+        metrics.gauge("engine.wall_time_spent_s").set(
+            self.stats.wall_time_spent_s
+        )
+
+
+def run_workload_groups(
+    engine: ExperimentEngine,
+    jobs: Sequence[SimJob],
+    errors: List[Dict],
+) -> Dict[str, List[SimulationResult]]:
+    """Run jobs and group results by workload with failure isolation.
+
+    Mirrors the legacy per-workload ``run_isolated`` closures: a group
+    with any failed job contributes no results, and exactly one error
+    record (its first failure, in job order) lands in ``errors``.
+    """
+    outcomes = engine.run(jobs)
+    grouped: Dict[str, List[SimulationResult]] = {}
+    failed: set = set()
+    for job, outcome in zip(jobs, outcomes):
+        name = job.group or job.workload
+        if name in failed:
+            continue
+        if not outcome.ok:
+            failed.add(name)
+            grouped.pop(name, None)
+            errors.append(outcome.error)
+            continue
+        grouped.setdefault(name, []).append(outcome.result)
+    return grouped

@@ -25,6 +25,11 @@ from ..faults.plan import FaultPlan
 from ..obs import Observer, write_chrome_trace
 from ..workloads.registry import BENCHMARK_NAMES
 from .charts import sparkline
+from .engine import (
+    ExperimentEngine,
+    make_job,
+    run_workload_groups,
+)
 from .report import (
     arithmetic_mean,
     percent,
@@ -82,6 +87,11 @@ def _with_errors(table: str, errors: List[Dict]) -> str:
     if not errors:
         return table
     return table + "\n\n" + render_errors(errors)
+
+
+def _engine(engine: Optional[ExperimentEngine]) -> ExperimentEngine:
+    """The caller's engine, or a fresh serial one with the default cache."""
+    return engine if engine is not None else ExperimentEngine()
 
 
 def bench_instructions(default: int = 120_000) -> int:
@@ -159,39 +169,42 @@ def fig2_hw_baseline(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig2Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig2Result()
+    machine_4x4 = MachineConfig().with_stream_buffers(
+        StreamBufferConfig.paper_4x4()
+    )
+    jobs = []
     for name in names:
-        def one_workload(name: str = name) -> Dict:
-            none = run_simulation(
-                name, policy=PrefetchPolicy.NONE, max_instructions=budget, warmup_instructions=warm
-            )
-            hw44 = run_simulation(
-                name,
-                policy=PrefetchPolicy.HW_ONLY,
-                machine=MachineConfig().with_stream_buffers(
-                    StreamBufferConfig.paper_4x4()
-                ),
-                max_instructions=budget, warmup_instructions=warm,
-            )
-            hw88 = run_simulation(
-                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-            )
-            return {
-                "workload": name,
-                "ipc_none": none.ipc,
-                "ipc_4x4": hw44.ipc,
-                "ipc_8x8": hw88.ipc,
-                "speedup_4x4": hw44.speedup_over(none),
-                "speedup_8x8": hw88.speedup_over(none),
-            }
-
-        row = run_isolated(result.errors, name, one_workload)
-        if row is not None:
-            result.rows.append(row)
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.NONE,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.HW_ONLY, machine=machine_4x4,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.HW_ONLY,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+    for name in names:
+        if name not in grouped:
+            continue
+        none, hw44, hw88 = grouped[name]
+        result.rows.append({
+            "workload": name,
+            "ipc_none": none.ipc,
+            "ipc_4x4": hw44.ipc,
+            "ipc_8x8": hw88.ipc,
+            "speedup_4x4": hw44.speedup_over(none),
+            "speedup_8x8": hw88.speedup_over(none),
+        })
     return result
 
 
@@ -242,37 +255,37 @@ def fig3_overhead(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig3Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig3Result()
+    jobs = []
     for name in names:
-        def one_workload(name: str = name) -> Dict:
-            base = run_simulation(
-                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-            )
-            overhead_run = run_simulation(
-                name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
-                max_instructions=budget, warmup_instructions=warm,
-                overhead_only=True,
-            )
-            full = run_simulation(
-                name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
-                max_instructions=budget, warmup_instructions=warm,
-            )
-            overhead = max(0.0, base.ipc / overhead_run.ipc - 1.0)
-            return {
-                "workload": name,
-                "helper_active": full.helper_active_fraction,
-                "overhead": overhead,
-            }
-
-        row = run_isolated(result.errors, name, one_workload)
-        if row is not None:
-            result.rows.append(row)
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.HW_ONLY,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+            overhead_only=True,
+        ))
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+    for name in names:
+        if name not in grouped:
+            continue
+        base, overhead_run, full = grouped[name]
+        result.rows.append({
+            "workload": name,
+            "helper_active": full.helper_active_fraction,
+            "overhead": max(0.0, base.ipc / overhead_run.ipc - 1.0),
+        })
     return result
 
 
@@ -324,43 +337,44 @@ def fig4_coverage(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig4Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig4Result()
+    # Figure 4 asks which misses *occur while executing hot traces* and
+    # which of those the prefetcher targets.  A successful prefetch
+    # erases the miss it covered, so the miss profile comes from a
+    # monitoring-only run (traces linked, nothing inserted) and the
+    # targeted-PC set from the self-repairing run.
+    jobs = []
     for name in names:
-        # Figure 4 asks which misses *occur while executing hot traces*
-        # and which of those the prefetcher targets.  A successful
-        # prefetch erases the miss it covered, so the miss profile comes
-        # from a monitoring-only run (traces linked, nothing inserted)
-        # and the targeted-PC set from the self-repairing run.
-        def one_workload(name: str = name) -> Dict:
-            baseline = run_simulation(
-                name, policy=PrefetchPolicy.TRACE_ONLY,
-                max_instructions=budget, warmup_instructions=warm,
-            )
-            run = run_simulation(
-                name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
-                max_instructions=budget, warmup_instructions=warm,
-            )
-            profile = baseline.miss_profile()
-            total = sum(profile.values())
-            targeted = sum(
-                count
-                for pc, count in profile.items()
-                if pc in run.targeted_load_pcs
-            )
-            return {
-                "workload": name,
-                "trace_coverage": baseline.miss_trace_coverage,
-                "prefetch_coverage": targeted / total if total else 0.0,
-            }
-
-        row = run_isolated(result.errors, name, one_workload)
-        if row is not None:
-            result.rows.append(row)
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.TRACE_ONLY,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+    for name in names:
+        if name not in grouped:
+            continue
+        baseline, run = grouped[name]
+        profile = baseline.miss_profile()
+        total = sum(profile.values())
+        targeted = sum(
+            count
+            for pc, count in profile.items()
+            if pc in run.targeted_load_pcs
+        )
+        result.rows.append({
+            "workload": name,
+            "trace_coverage": baseline.miss_trace_coverage,
+            "prefetch_coverage": targeted / total if total else 0.0,
+        })
     return result
 
 
@@ -425,29 +439,37 @@ def fig5_policies(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig5Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig5Result()
+    policies = (
+        ("basic", PrefetchPolicy.BASIC),
+        ("whole_object", PrefetchPolicy.WHOLE_OBJECT),
+        ("self_repairing", PrefetchPolicy.SELF_REPAIRING),
+    )
+    jobs = []
     for name in names:
-        def one_workload(name: str = name) -> Dict:
-            baseline = run_simulation(
-                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-            )
-            row = {"workload": name}
-            for key, policy in (
-                ("basic", PrefetchPolicy.BASIC),
-                ("whole_object", PrefetchPolicy.WHOLE_OBJECT),
-                ("self_repairing", PrefetchPolicy.SELF_REPAIRING),
-            ):
-                run = run_simulation(name, policy=policy, max_instructions=budget, warmup_instructions=warm)
-                row[key] = run.speedup_over(baseline)
-            return row
-
-        row = run_isolated(result.errors, name, one_workload)
-        if row is not None:
-            result.rows.append(row)
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.HW_ONLY,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+        for _, policy in policies:
+            jobs.append(make_job(
+                name, policy=policy,
+                max_instructions=budget, warmup_instructions=warm,
+            ))
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+    for name in names:
+        if name not in grouped:
+            continue
+        baseline, *runs = grouped[name]
+        row = {"workload": name}
+        for (key, _), run in zip(policies, runs):
+            row[key] = run.speedup_over(baseline)
+        result.rows.append(row)
     return result
 
 
@@ -487,25 +509,27 @@ def fig6_breakdown(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig6Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig6Result()
+    jobs = [
+        make_job(
+            name, policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        for name in names
+    ]
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
     for name in names:
-        def one_workload(name: str = name) -> Dict:
-            run = run_simulation(
-                name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
-                max_instructions=budget, warmup_instructions=warm,
-            )
-            row = {"workload": name}
-            row.update(run.breakdown())
-            return row
-
-        row = run_isolated(result.errors, name, one_workload)
-        if row is not None:
-            result.rows.append(row)
+        if name not in grouped:
+            continue
+        (run,) = grouped[name]
+        row = {"workload": name}
+        row.update(run.breakdown())
+        result.rows.append(row)
     return result
 
 
@@ -539,54 +563,76 @@ class Fig7Result:
         return _with_errors(table, self.errors)
 
 
+def _hw_baselines(
+    engine: ExperimentEngine,
+    names: Sequence[str],
+    budget: int,
+    warm: int,
+    errors: List[Dict],
+) -> Dict[str, "object"]:
+    """Shared HW_ONLY baselines, one engine batch (cache-deduplicated
+    across every figure and sweep that asks for the same budget)."""
+    jobs = [
+        make_job(
+            name, policy=PrefetchPolicy.HW_ONLY,
+            max_instructions=budget, warmup_instructions=warm,
+        )
+        for name in names
+    ]
+    outcomes = engine.run(jobs)
+    baselines = {}
+    for job, outcome in zip(jobs, outcomes):
+        if outcome.ok:
+            baselines[job.workload] = outcome.result
+        else:
+            errors.append(outcome.error)
+    return baselines
+
+
 def fig7_threshold_sweep(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     windows: Sequence[int] = (128, 256, 512),
     rates: Sequence[float] = (0.01, 0.03, 0.06, 0.12),
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig7Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig7Result(windows=list(windows), rates=list(rates))
-    baselines = {}
-    for name in names:
-        base = run_isolated(
-            result.errors,
-            name,
-            lambda name=name: run_simulation(
-                name, policy=PrefetchPolicy.HW_ONLY,
+    eng = _engine(engine)
+    baselines = _hw_baselines(eng, names, budget, warm, result.errors)
+    cells = [(window, rate) for window in windows for rate in rates]
+    jobs = []
+    for window, rate in cells:
+        dlt = DLTConfig().with_window(window).with_miss_rate(rate)
+        for name in baselines:
+            jobs.append(make_job(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                trident=TridentConfig().with_dlt(dlt),
                 max_instructions=budget, warmup_instructions=warm,
-            ),
-        )
-        if base is not None:
-            baselines[name] = base
+            ))
+    outcomes = eng.run(jobs)
     # A workload failing mid-sweep is recorded once and excluded from
-    # the remaining grid cells instead of failing them all over again.
+    # that cell and the rest of the grid (same row/column semantics the
+    # serial sweep had; parallel execution just wastes the dropped work).
     failed: set = set()
-    for window in windows:
-        for rate in rates:
-            dlt = DLTConfig().with_window(window).with_miss_rate(rate)
-            speedups = []
-            for name in baselines:
-                if name in failed:
-                    continue
-                run = run_isolated(
-                    result.errors,
-                    name,
-                    lambda name=name: run_simulation(
-                        name,
-                        policy=PrefetchPolicy.SELF_REPAIRING,
-                        trident=TridentConfig().with_dlt(dlt),
-                        max_instructions=budget, warmup_instructions=warm,
-                    ),
-                )
-                if run is None:
-                    failed.add(name)
-                    continue
-                speedups.append(run.speedup_over(baselines[name]))
-            result.grid[(window, rate)] = arithmetic_mean(speedups)
+    index = 0
+    for window, rate in cells:
+        speedups = []
+        for name in baselines:
+            outcome = outcomes[index]
+            index += 1
+            if name in failed:
+                continue
+            if not outcome.ok:
+                result.errors.append(outcome.error)
+                failed.add(name)
+                continue
+            speedups.append(outcome.result.speedup_over(baselines[name]))
+        result.grid[(window, rate)] = arithmetic_mean(speedups)
     return result
 
 
@@ -627,6 +673,7 @@ def fig8_dlt_sweep(
     warmup: Optional[int] = None,
     sizes: Sequence[int] = (128, 256, 512, 1024, 2048),
     spotlight: Sequence[str] = ("dot", "parser"),
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig8Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
@@ -635,39 +682,33 @@ def fig8_dlt_sweep(
         sizes=list(sizes),
         spotlight=[s for s in spotlight if s in names],
     )
-    baselines = {}
-    for name in names:
-        base = run_isolated(
-            result.errors,
-            name,
-            lambda name=name: run_simulation(
-                name, policy=PrefetchPolicy.HW_ONLY,
-                max_instructions=budget, warmup_instructions=warm,
-            ),
-        )
-        if base is not None:
-            baselines[name] = base
-    failed: set = set()
+    eng = _engine(engine)
+    baselines = _hw_baselines(eng, names, budget, warm, result.errors)
+    jobs = []
     for size in sizes:
         dlt = DLTConfig().with_entries(size)
+        for name in baselines:
+            jobs.append(make_job(
+                name,
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                trident=TridentConfig().with_dlt(dlt),
+                max_instructions=budget, warmup_instructions=warm,
+            ))
+    outcomes = eng.run(jobs)
+    failed: set = set()
+    index = 0
+    for size in sizes:
         per: Dict[str, float] = {}
         for name in baselines:
+            outcome = outcomes[index]
+            index += 1
             if name in failed:
                 continue
-            run = run_isolated(
-                result.errors,
-                name,
-                lambda name=name: run_simulation(
-                    name,
-                    policy=PrefetchPolicy.SELF_REPAIRING,
-                    trident=TridentConfig().with_dlt(dlt),
-                    max_instructions=budget, warmup_instructions=warm,
-                ),
-            )
-            if run is None:
+            if not outcome.ok:
+                result.errors.append(outcome.error)
                 failed.add(name)
                 continue
-            per[name] = run.speedup_over(baselines[name])
+            per[name] = outcome.result.speedup_over(baselines[name])
         per["mean"] = arithmetic_mean(
             [v for k, v in per.items() if k != "mean"]
         )
@@ -733,37 +774,35 @@ def fig9_sw_vs_hw(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig9Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig9Result()
+    jobs = []
     for name in names:
-        def one_workload(name: str = name) -> Dict:
-            none = run_simulation(
-                name, policy=PrefetchPolicy.NONE, max_instructions=budget, warmup_instructions=warm
-            )
-            hw = run_simulation(
-                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-            )
-            sw = run_simulation(
-                name, policy=PrefetchPolicy.SW_ONLY, max_instructions=budget, warmup_instructions=warm
-            )
-            combined = run_simulation(
-                name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
+        for policy in (
+            PrefetchPolicy.NONE,
+            PrefetchPolicy.HW_ONLY,
+            PrefetchPolicy.SW_ONLY,
+            PrefetchPolicy.SELF_REPAIRING,
+        ):
+            jobs.append(make_job(
+                name, policy=policy,
                 max_instructions=budget, warmup_instructions=warm,
-            )
-            return {
-                "workload": name,
-                "hw_only": hw.speedup_over(none),
-                "sw_only": sw.speedup_over(none),
-                "combined": combined.speedup_over(none),
-            }
-
-        row = run_isolated(result.errors, name, one_workload)
-        if row is not None:
-            result.rows.append(row)
+            ))
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+    for name in names:
+        if name not in grouped:
+            continue
+        none, hw, sw, combined = grouped[name]
+        result.rows.append({
+            "workload": name,
+            "hw_only": hw.speedup_over(none),
+            "sw_only": sw.speedup_over(none),
+            "combined": combined.speedup_over(none),
+        })
     return result
 
 
@@ -800,6 +839,7 @@ def cache_equivalent_area(
     workloads: Optional[Sequence[str]] = None,
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> CacheEquivResult:
     """Enlarge the L1 by the monitoring structures' storage (~24 KB: 1024
     DLT entries x ~22 bytes + 256 watch entries) and measure the gain."""
@@ -808,22 +848,24 @@ def cache_equivalent_area(
     warm = bench_warmup() if warmup is None else warmup
     result = CacheEquivResult()
     bigger = MachineConfig().with_l1_size(88 * 1024)
+    jobs = []
     for name in names:
-        def one_workload(name: str = name) -> Dict:
-            base = run_simulation(
-                name, policy=PrefetchPolicy.HW_ONLY, max_instructions=budget, warmup_instructions=warm
-            )
-            big = run_simulation(
-                name,
-                policy=PrefetchPolicy.HW_ONLY,
-                machine=bigger,
-                max_instructions=budget, warmup_instructions=warm,
-            )
-            return {"workload": name, "speedup": big.speedup_over(base)}
-
-        row = run_isolated(result.errors, name, one_workload)
-        if row is not None:
-            result.rows.append(row)
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.HW_ONLY,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+        jobs.append(make_job(
+            name, policy=PrefetchPolicy.HW_ONLY, machine=bigger,
+            max_instructions=budget, warmup_instructions=warm,
+        ))
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+    for name in names:
+        if name not in grouped:
+            continue
+        base, big = grouped[name]
+        result.rows.append(
+            {"workload": name, "speedup": big.speedup_over(base)}
+        )
     return result
 
 
@@ -954,16 +996,21 @@ def _resilience_one_policy(
     obs = Observer(sample_interval=chunk)
     sim = Simulation(name, config, fault_plan=plan, observer=obs)
     result = sim.run()
-    windows: List[Dict] = [
-        {"ipc": s.ipc, "repairs": s.repairs} for s in result.samples
-    ]
     if trace_out is not None:
         write_chrome_trace(
             obs.events(),
             trace_out,
             metadata={"workload": name, "policy": policy.value},
         )
+    return _resilience_metrics(result.samples, chunks)
 
+
+def _resilience_metrics(samples, chunks: int) -> Dict:
+    """Window math shared by the engine and trace-export paths: IPC dip,
+    recovery ratio, and reconvergence point around the mid-run fault."""
+    windows: List[Dict] = [
+        {"ipc": s.ipc, "repairs": s.repairs} for s in samples
+    ]
     half = chunks // 2
     pre, post = windows[:half], windows[half:]
     if not post:
@@ -1002,6 +1049,7 @@ def resilience(
     extra_cycles: int = 250,
     seed: int = 1,
     trace_out: Optional[str] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> ResilienceResult:
     """Chaos-test the self-repair loop: inject a permanent DRAM latency
     increase mid-run and compare how BASIC and SELF_REPAIRING reconverge.
@@ -1010,11 +1058,48 @@ def resilience(
     re-opened after the shift; only the self-repairing policy is allowed
     to re-tune distances, mirroring the paper's static-vs-repairing
     comparison under a changed memory system.
+
+    With ``trace_out`` set the runs happen in-process (the Chrome trace
+    export needs the live observer's event ring); otherwise the jobs go
+    through the engine, with ``sample_interval`` carried in the job spec
+    so the windowed-IPC samples survive caching.
     """
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = ResilienceResult(chunks=chunks, extra_cycles=extra_cycles)
+    if trace_out is None:
+        chunk = max(1, budget // chunks)
+        fault_at = warm + chunk * (chunks // 2)
+        plan = FaultPlan.latency_phase_shift(
+            at_instruction=fault_at, extra_cycles=extra_cycles, seed=seed
+        )
+        policies = (
+            ("basic", PrefetchPolicy.BASIC),
+            ("self_repairing", PrefetchPolicy.SELF_REPAIRING),
+        )
+        jobs = [
+            make_job(
+                name, policy=policy,
+                trident=TridentConfig(phase_detection=True),
+                max_instructions=chunk * chunks,
+                warmup_instructions=warm,
+                seed=seed,
+                fault_plan=plan,
+                sample_interval=chunk,
+            )
+            for name in names
+            for _key, policy in policies
+        ]
+        grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+        for name in names:
+            if name not in grouped:
+                continue
+            row: Dict = {"workload": name}
+            for (key, _policy), run in zip(policies, grouped[name]):
+                row[key] = _resilience_metrics(run.samples, chunks)
+            result.rows.append(row)
+        return result
     for name in names:
         def one_workload(name: str = name) -> Dict:
             row = {"workload": name}

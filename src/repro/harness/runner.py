@@ -36,6 +36,53 @@ from ..workloads.registry import BENCHMARK_NAMES, load_workload
 _log = get_logger("harness")
 
 
+class _ReplaySample:
+    """Stand-in for :class:`~repro.obs.sampling.Sample` on cache replay.
+
+    ``Sample.to_dict`` emits *derived* ratios (ipc, miss_rate) alongside
+    raw window deltas; reconstructing a real ``Sample`` from those would
+    re-derive the ratios through float division and risk a last-ulp
+    mismatch.  The replay sample just holds the stored mapping, so a
+    replayed result's ``to_dict`` is byte-identical to the original's.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Dict) -> None:
+        self._data = dict(data)
+
+    def __getattr__(self, name: str):
+        try:
+            return self._data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def to_dict(self) -> Dict:
+        return dict(self._data)
+
+
+@dataclass
+class _ReplayCoreStats:
+    """The slice of :class:`~repro.cpu.core.CoreStats` a result carries."""
+
+    branch_mispredicts: int = 0
+    loads_executed: int = 0
+    misses_total: int = 0
+    miss_count_by_pc: Dict[int, int] = field(default_factory=dict)
+
+
+class _ReplayMemoryStats:
+    """The slice of MemoryStats a result needs: the Figure-6 breakdown."""
+
+    __slots__ = ("_breakdown",)
+
+    def __init__(self, breakdown: Dict[str, float]) -> None:
+        self._breakdown = dict(breakdown)
+
+    def breakdown(self) -> Dict[str, float]:
+        return dict(self._breakdown)
+
+
 @dataclass
 class SimulationResult:
     """Everything measured in one run."""
@@ -115,7 +162,61 @@ class SimulationResult:
             "faults_applied": self.faults_applied,
             "fault_log": [dict(entry) for entry in self.fault_log],
             "samples": [sample.to_dict() for sample in self.samples],
+            # Cache-replay payload (JSON object keys must be strings, so
+            # PCs are stringified; sorted for stable serialisation).
+            "miss_by_pc": {
+                str(pc): self.core.miss_count_by_pc[pc]
+                for pc in sorted(self.core.miss_count_by_pc)
+            },
+            "trace_load_pcs": sorted(self.trace_load_pcs),
+            "targeted_load_pcs": sorted(self.targeted_load_pcs),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (cache replay).
+
+        The replayed result supports everything the experiment harness
+        uses — ``ipc``, ``speedup_over``, ``breakdown``, ``miss_profile``,
+        the coverage fields, ``samples`` — and its own :meth:`to_dict`
+        round-trips byte-identically (the differential test suite holds
+        the engine to that).
+        """
+        core = _ReplayCoreStats(
+            branch_mispredicts=data["branch_mispredicts"],
+            loads_executed=data["loads_executed"],
+            misses_total=data["misses_total"],
+            miss_count_by_pc={
+                int(pc): count
+                for pc, count in data.get("miss_by_pc", {}).items()
+            },
+        )
+        return cls(
+            workload=data["workload"],
+            policy=PrefetchPolicy(data["policy"]),
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            core=core,
+            memory=_ReplayMemoryStats(data["breakdown"]),
+            helper_active_fraction=data["helper_active_fraction"],
+            helper_jobs=dict(data["helper_jobs"]),
+            traces_formed=data["traces_formed"],
+            traces_linked=data["traces_linked"],
+            dlt_events=data["dlt_events"],
+            prefetches_inserted=data["prefetches_inserted"],
+            pointer_prefetches_inserted=data["pointer_prefetches_inserted"],
+            repairs_applied=data["repairs_applied"],
+            loads_matured=data["loads_matured"],
+            faults_applied=data["faults_applied"],
+            fault_log=tuple(dict(entry) for entry in data["fault_log"]),
+            miss_trace_coverage=data["miss_trace_coverage"],
+            miss_prefetch_coverage=data["miss_prefetch_coverage"],
+            trace_load_pcs=frozenset(data.get("trace_load_pcs", ())),
+            targeted_load_pcs=frozenset(data.get("targeted_load_pcs", ())),
+            samples=tuple(
+                _ReplaySample(sample) for sample in data["samples"]
+            ),
+        )
 
 
 class Simulation:

@@ -2,16 +2,22 @@
 
 These go beyond the paper's figures: they isolate individual mechanisms of
 the self-repairing design so a reader can see what each one buys.
+
+Every ablation runs through the :class:`~repro.harness.engine
+.ExperimentEngine`: the shared HW_ONLY baseline is content-addressed, so
+six ablations asking for the same (workload, budget) baseline simulate it
+once and replay it from the cache five times instead of re-running it.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List, Optional, Sequence
+
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
 
 from ..config import DLTConfig, PrefetchPolicy, TridentConfig
+from .engine import ExperimentEngine, SimJob, make_job
 from .report import arithmetic_mean, render_table, speedup_percent
-from .runner import run_simulation
 
 
 @dataclass
@@ -41,46 +47,86 @@ class AblationResult:
         return render_table(headers, rows, title=self.title)
 
 
+def _engine(engine: Optional[ExperimentEngine]) -> ExperimentEngine:
+    return engine if engine is not None else ExperimentEngine()
+
+
 def _baselines(
-    names: Sequence[str], budget: int, warmup: int
+    engine: ExperimentEngine,
+    names: Sequence[str],
+    budget: int,
+    warmup: int,
+    policy: PrefetchPolicy = PrefetchPolicy.HW_ONLY,
 ) -> Dict[str, object]:
-    return {
-        name: run_simulation(
-            name,
-            policy=PrefetchPolicy.HW_ONLY,
-            max_instructions=budget,
-            warmup_instructions=warmup,
+    """The per-workload baseline every variant's speedup divides by.
+
+    One engine batch: identical baselines across ablations (same
+    workload, budget, warmup) are simulated once and served from the
+    result cache afterwards — this used to be the sweeps' biggest source
+    of duplicated work.
+    """
+    jobs = [
+        make_job(
+            name, policy=policy,
+            max_instructions=budget, warmup_instructions=warmup,
         )
         for name in names
-    }
+    ]
+    results = engine.run_all(jobs)
+    return dict(zip(names, results))
+
+
+def _variant_grid(
+    engine: ExperimentEngine,
+    result: AblationResult,
+    baselines: Dict[str, object],
+    variants: Sequence[str],
+    jobs: List[SimJob],
+) -> None:
+    """Fill ``result.variants`` from a variant-major job list (one job
+    per variant x baseline workload, in that order)."""
+    names = list(baselines)
+    results = engine.run_all(jobs)
+    index = 0
+    for variant in variants:
+        per = {}
+        for name in names:
+            per[name] = results[index].speedup_over(baselines[name])
+            index += 1
+        result.variants[variant] = per
 
 
 def ablation_initial_distance(
     workloads: Sequence[str],
     max_instructions: int,
     warmup_instructions: int = 200_000,
+    engine: Optional[ExperimentEngine] = None,
 ) -> AblationResult:
     """Paper section 5.3: starting the repair search from the estimated
     distance performs "almost identical" to starting from 1."""
     result = AblationResult(
         title="Ablation: initial distance for the self-repairing search"
     )
-    baselines = _baselines(workloads, max_instructions, warmup_instructions)
-    for variant, mode in (
-        ("start at 1 (paper default)", "one"),
-        ("start at estimate (eq. 2)", "estimate"),
-    ):
-        per = {}
-        for name in workloads:
-            run = run_simulation(
-                name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
-                max_instructions=max_instructions,
-                warmup_instructions=warmup_instructions,
-                initial_distance_mode=mode,
-            )
-            per[name] = run.speedup_over(baselines[name])
-        result.variants[variant] = per
+    eng = _engine(engine)
+    baselines = _baselines(
+        eng, workloads, max_instructions, warmup_instructions
+    )
+    variants = {
+        "start at 1 (paper default)": "one",
+        "start at estimate (eq. 2)": "estimate",
+    }
+    jobs = [
+        make_job(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+            initial_distance_mode=mode,
+        )
+        for mode in variants.values()
+        for name in baselines
+    ]
+    _variant_grid(eng, result, baselines, list(variants), jobs)
     return result
 
 
@@ -88,47 +134,37 @@ def ablation_grouping(
     workloads: Sequence[str],
     max_instructions: int,
     warmup_instructions: int = 200_000,
+    engine: Optional[ExperimentEngine] = None,
 ) -> AblationResult:
-    """Same-object grouping on vs off, with repair active in both."""
+    """Same-object grouping on vs off, with repair active in both.
+
+    BASIC groups nothing but also freezes distances; to isolate grouping
+    we would want BASIC + repair, which the policy enum doesn't offer —
+    so we report the paper's own proxies: WHOLE_OBJECT (grouped, frozen)
+    vs BASIC (ungrouped, frozen), plus SELF_REPAIRING for reference.
+    """
     result = AblationResult(
         title="Ablation: same-object grouping under adaptive repair"
     )
-    baselines = _baselines(workloads, max_instructions, warmup_instructions)
-    per_on: Dict[str, float] = {}
-    per_off: Dict[str, float] = {}
-    for name in workloads:
-        on = run_simulation(
-            name,
-            policy=PrefetchPolicy.SELF_REPAIRING,
+    eng = _engine(engine)
+    baselines = _baselines(
+        eng, workloads, max_instructions, warmup_instructions
+    )
+    variants = {
+        "grouped, frozen (WHOLE_OBJECT)": PrefetchPolicy.WHOLE_OBJECT,
+        "grouped + repair (SELF_REPAIRING)": PrefetchPolicy.SELF_REPAIRING,
+        "ungrouped, frozen (BASIC)": PrefetchPolicy.BASIC,
+    }
+    jobs = [
+        make_job(
+            name, policy=policy,
             max_instructions=max_instructions,
             warmup_instructions=warmup_instructions,
         )
-        per_on[name] = on.speedup_over(baselines[name])
-        # BASIC groups nothing but also freezes distances; to isolate
-        # grouping we run BASIC with the adaptive initial mode "one" and
-        # compare WHOLE_OBJECT-without-repair against BASIC elsewhere;
-        # here the honest ungrouped-adaptive variant is BASIC + repair,
-        # which the policy enum doesn't offer — so we report the paper's
-        # own proxies: WHOLE_OBJECT (grouped, frozen) vs BASIC (ungrouped,
-        # frozen).
-        grouped = run_simulation(
-            name,
-            policy=PrefetchPolicy.WHOLE_OBJECT,
-            max_instructions=max_instructions,
-            warmup_instructions=warmup_instructions,
-        )
-        ungrouped = run_simulation(
-            name,
-            policy=PrefetchPolicy.BASIC,
-            max_instructions=max_instructions,
-            warmup_instructions=warmup_instructions,
-        )
-        per_off[name] = ungrouped.speedup_over(baselines[name])
-        result.variants.setdefault("grouped, frozen (WHOLE_OBJECT)", {})[
-            name
-        ] = grouped.speedup_over(baselines[name])
-    result.variants["grouped + repair (SELF_REPAIRING)"] = per_on
-    result.variants["ungrouped, frozen (BASIC)"] = per_off
+        for policy in variants.values()
+        for name in baselines
+    ]
+    _variant_grid(eng, result, baselines, list(variants), jobs)
     return result
 
 
@@ -137,26 +173,33 @@ def ablation_confidence_penalty(
     max_instructions: int,
     penalties: Sequence[int] = (1, 3, 7, 15),
     warmup_instructions: int = 200_000,
+    engine: Optional[ExperimentEngine] = None,
 ) -> AblationResult:
     """The DLT's asymmetric stride-confidence update (-7 in the paper):
     smaller penalties let noisy pointer chains masquerade as strided."""
     result = AblationResult(
         title="Ablation: DLT stride-confidence down-step (paper: -7)"
     )
-    baselines = _baselines(workloads, max_instructions, warmup_instructions)
-    for penalty in penalties:
-        dlt = DLTConfig(confidence_down=penalty)
-        per = {}
-        for name in workloads:
-            run = run_simulation(
-                name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
-                trident=TridentConfig().with_dlt(dlt),
-                max_instructions=max_instructions,
-                warmup_instructions=warmup_instructions,
-            )
-            per[name] = run.speedup_over(baselines[name])
-        result.variants[f"-{penalty}"] = per
+    eng = _engine(engine)
+    baselines = _baselines(
+        eng, workloads, max_instructions, warmup_instructions
+    )
+    jobs = [
+        make_job(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            trident=TridentConfig().with_dlt(
+                DLTConfig(confidence_down=penalty)
+            ),
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        for penalty in penalties
+        for name in baselines
+    ]
+    _variant_grid(
+        eng, result, baselines, [f"-{p}" for p in penalties], jobs
+    )
     return result
 
 
@@ -164,6 +207,7 @@ def ablation_markov(
     workloads: Sequence[str],
     max_instructions: int,
     warmup_instructions: int = 200_000,
+    engine: Optional[ExperimentEngine] = None,
 ) -> AblationResult:
     """The PSB's stride-filtered Markov second level (Sherwood et al.,
     the paper's citation [27]): off in the Table-1 baseline, measured
@@ -178,36 +222,32 @@ def ablation_markov(
             "stream buffers (off in the paper's Table-1 baseline)"
         )
     )
-    none_runs = {
-        name: run_simulation(
+    eng = _engine(engine)
+    none_runs = _baselines(
+        eng, workloads, max_instructions, warmup_instructions,
+        policy=PrefetchPolicy.NONE,
+    )
+    variants = {
+        "stride-guided only (paper)": 0,
+        "with markov second level": 2048,
+    }
+    jobs = [
+        make_job(
             name,
-            policy=PrefetchPolicy.NONE,
+            policy=PrefetchPolicy.HW_ONLY,
+            machine=MachineConfig().with_stream_buffers(
+                dataclasses.replace(
+                    StreamBufferConfig.paper_8x8(),
+                    markov_entries=markov_entries,
+                )
+            ),
             max_instructions=max_instructions,
             warmup_instructions=warmup_instructions,
         )
-        for name in workloads
-    }
-    for variant, markov_entries in (
-        ("stride-guided only (paper)", 0),
-        ("with markov second level", 2048),
-    ):
-        machine = MachineConfig().with_stream_buffers(
-            dataclasses.replace(
-                StreamBufferConfig.paper_8x8(),
-                markov_entries=markov_entries,
-            )
-        )
-        per = {}
-        for name in workloads:
-            run = run_simulation(
-                name,
-                policy=PrefetchPolicy.HW_ONLY,
-                machine=machine,
-                max_instructions=max_instructions,
-                warmup_instructions=warmup_instructions,
-            )
-            per[name] = run.speedup_over(none_runs[name])
-        result.variants[variant] = per
+        for markov_entries in variants.values()
+        for name in none_runs
+    ]
+    _variant_grid(eng, result, none_runs, list(variants), jobs)
     return result
 
 
@@ -215,6 +255,7 @@ def ablation_phase_detection(
     workloads: Sequence[str],
     max_instructions: int,
     warmup_instructions: int = 200_000,
+    engine: Optional[ExperimentEngine] = None,
 ) -> AblationResult:
     """The paper's stated future work (section 3.5.2): clear mature flags
     on a working-set/phase change so the prefetcher can re-adapt."""
@@ -224,23 +265,26 @@ def ablation_phase_detection(
             "(paper future work, off by default)"
         )
     )
-    baselines = _baselines(workloads, max_instructions, warmup_instructions)
-    for variant, enabled in (
-        ("phase detection off (paper)", False),
-        ("phase detection on", True),
-    ):
-        trident = TridentConfig(phase_detection=enabled)
-        per = {}
-        for name in workloads:
-            run = run_simulation(
-                name,
-                policy=PrefetchPolicy.SELF_REPAIRING,
-                trident=trident,
-                max_instructions=max_instructions,
-                warmup_instructions=warmup_instructions,
-            )
-            per[name] = run.speedup_over(baselines[name])
-        result.variants[variant] = per
+    eng = _engine(engine)
+    baselines = _baselines(
+        eng, workloads, max_instructions, warmup_instructions
+    )
+    variants = {
+        "phase detection off (paper)": False,
+        "phase detection on": True,
+    }
+    jobs = [
+        make_job(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            trident=TridentConfig(phase_detection=enabled),
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        for enabled in variants.values()
+        for name in baselines
+    ]
+    _variant_grid(eng, result, baselines, list(variants), jobs)
     return result
 
 
@@ -249,35 +293,34 @@ def ablation_repair_budget(
     max_instructions: int,
     budgets: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     warmup_instructions: int = 200_000,
+    engine: Optional[ExperimentEngine] = None,
 ) -> AblationResult:
-    """Scale the 2x max-distance repair budget (paper's maturing rule)."""
-    from ..core.repair import PrefetchRecord
+    """Scale the 2x max-distance repair budget (paper's maturing rule).
 
+    The multiplier is a real config field
+    (``TridentConfig.repair_budget_multiplier``) rather than the class
+    monkeypatch this sweep once used: a patch would neither reach pool
+    workers nor show up in the cache key.
+    """
     result = AblationResult(
         title="Ablation: repair budget multiplier (paper: 2x max distance)"
     )
-    baselines = _baselines(workloads, max_instructions, warmup_instructions)
-    original = PrefetchRecord.set_budget_from_max
-    try:
-        for multiplier in budgets:
-
-            def patched(self, max_distance, _m=multiplier):
-                self.max_distance = max_distance
-                budget = max(1, int(_m * max_distance))
-                if budget > self.repairs_left:
-                    self.repairs_left = budget
-
-            PrefetchRecord.set_budget_from_max = patched
-            per = {}
-            for name in workloads:
-                run = run_simulation(
-                    name,
-                    policy=PrefetchPolicy.SELF_REPAIRING,
-                    max_instructions=max_instructions,
-                    warmup_instructions=warmup_instructions,
-                )
-                per[name] = run.speedup_over(baselines[name])
-            result.variants[f"{multiplier}x"] = per
-    finally:
-        PrefetchRecord.set_budget_from_max = original
+    eng = _engine(engine)
+    baselines = _baselines(
+        eng, workloads, max_instructions, warmup_instructions
+    )
+    jobs = [
+        make_job(
+            name,
+            policy=PrefetchPolicy.SELF_REPAIRING,
+            trident=TridentConfig().with_repair_budget(multiplier),
+            max_instructions=max_instructions,
+            warmup_instructions=warmup_instructions,
+        )
+        for multiplier in budgets
+        for name in baselines
+    ]
+    _variant_grid(
+        eng, result, baselines, [f"{m}x" for m in budgets], jobs
+    )
     return result

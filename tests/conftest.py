@@ -4,6 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.harness import cache as _cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    """Keep every test away from the user's real result cache: point
+    REPRO_CACHE_DIR at a session-scoped temp directory (shared within
+    the session so baseline-reuse still works across tests)."""
+    root = tmp_path_factory.getbasetemp() / "repro-cache"
+    monkeypatch.setenv(_cache.ENV_CACHE_DIR, str(root))
+
 from repro.config import (
     DLTConfig,
     MachineConfig,

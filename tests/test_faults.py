@@ -353,14 +353,18 @@ class TestWatchdog:
 # ---------------------------------------------------------------------------
 class TestIsolation:
     def test_sweep_survives_one_failing_workload(self, monkeypatch):
-        real = experiments.run_simulation
+        # Figures now run through the experiment engine, so the sabotage
+        # targets its single simulation seam rather than run_simulation.
+        from repro.harness import engine as engine_mod
 
-        def sabotaged(workload, *args, **kwargs):
-            if workload == "art":
+        real = engine_mod._execute_job
+
+        def sabotaged(job):
+            if job.workload == "art":
                 raise RuntimeError("injected crash")
-            return real(workload, *args, **kwargs)
+            return real(job)
 
-        monkeypatch.setattr(experiments, "run_simulation", sabotaged)
+        monkeypatch.setattr(engine_mod, "_execute_job", sabotaged)
         result = experiments.fig2_hw_baseline(
             workloads=["mcf", "art", "swim"],
             max_instructions=2_000, warmup=0,

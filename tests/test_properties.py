@@ -251,3 +251,52 @@ class TestConfigProperties:
         machine = MachineConfig().with_l1_size(factor * 16 * 1024)
         assert machine.l1.num_sets >= 1
         assert machine.l1.size_bytes == factor * 16 * 1024
+
+
+def _delayed_fake_execute(job):
+    """Stand-in simulation for ordering tests: completion time is keyed
+    off the job's seed, so later-submitted jobs can finish first."""
+    import time
+    from types import SimpleNamespace
+
+    time.sleep((job.config.seed % 5) * 0.01)
+    return (
+        SimpleNamespace(workload=job.workload, seed=job.config.seed),
+        0.0,
+    )
+
+
+class TestEngineOrderingProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.permutations(tuple(range(6))))
+    @settings(max_examples=6, deadline=None)
+    def test_outcomes_ignore_completion_order(self, order):
+        """engine.run returns outcomes in submission order no matter
+        which worker finishes first: seeds make early submissions slow
+        and late ones fast, and any permutation of the job list must
+        come back in exactly that permuted order."""
+        from repro.harness import engine as engine_mod
+        from repro.harness.engine import ExperimentEngine, make_job
+
+        jobs = [
+            make_job(
+                f"workload-{i}",
+                max_instructions=1,
+                # Reverse-rank seeds: the first-submitted job sleeps the
+                # longest, so completion order inverts submission order.
+                seed=len(order) - rank,
+            )
+            for rank, i in enumerate(order)
+        ]
+        original = engine_mod._execute_job
+        engine_mod._execute_job = _delayed_fake_execute
+        try:
+            outcomes = ExperimentEngine(workers=3, cache=None).run(jobs)
+        finally:
+            engine_mod._execute_job = original
+        assert [o.result.workload for o in outcomes] == [
+            f"workload-{i}" for i in order
+        ]
+        assert all(o.ok for o in outcomes)

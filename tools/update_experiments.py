@@ -6,6 +6,12 @@ Run after a bench pass::
     pytest benchmarks/ --benchmark-only
     python tools/update_experiments.py
 
+or regenerate the tables directly through the experiment engine —
+shared HW_ONLY baselines are simulated once per budget and every rerun
+replays unchanged results from the cache::
+
+    python tools/update_experiments.py --regenerate --jobs 4
+
 The section between the ``## Reference tables`` heading and the next
 ``## `` heading is replaced with the current contents of the results
 directory, in figure order.
@@ -13,6 +19,7 @@ directory, in figure order.
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import re
 import sys
@@ -78,7 +85,97 @@ def collect_tables() -> str:
     return "\n\n".join(tables)
 
 
-def main() -> int:
+def regenerate(jobs: int, refresh: bool, workloads) -> None:
+    """Re-run every experiment through one shared engine and rewrite
+    benchmarks/results/*.txt (what a full bench pass would produce)."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.harness import experiments as E
+    from repro.harness import sweep as S
+    from repro.harness.engine import ExperimentEngine
+    from repro.harness.experiments import (
+        bench_instructions,
+        bench_warmup,
+    )
+
+    engine = ExperimentEngine(workers=jobs, refresh=refresh)
+    sweep_names = workloads or ["art", "dot", "mcf", "parser", "swim"]
+    budget, warm = bench_instructions(), bench_warmup()
+    producers = {
+        "fig2_hw_baseline": lambda: E.fig2_hw_baseline(
+            workloads=workloads, engine=engine),
+        "fig3_overhead": lambda: E.fig3_overhead(
+            workloads=workloads, engine=engine),
+        "fig4_coverage": lambda: E.fig4_coverage(
+            workloads=workloads, engine=engine),
+        "fig5_policies": lambda: E.fig5_policies(
+            workloads=workloads, engine=engine),
+        "fig6_breakdown": lambda: E.fig6_breakdown(
+            workloads=workloads, engine=engine),
+        "fig7_threshold_sweep": lambda: E.fig7_threshold_sweep(
+            workloads=sweep_names, engine=engine),
+        "fig8_dlt_sweep": lambda: E.fig8_dlt_sweep(
+            workloads=sweep_names, engine=engine),
+        "fig9_sw_vs_hw": lambda: E.fig9_sw_vs_hw(
+            workloads=workloads, engine=engine),
+        "cache_equiv": lambda: E.cache_equivalent_area(
+            workloads=workloads, engine=engine),
+        "ablation_initial_distance": lambda: S.ablation_initial_distance(
+            sweep_names, budget, warmup_instructions=warm, engine=engine),
+        "ablation_grouping": lambda: S.ablation_grouping(
+            sweep_names, budget, warmup_instructions=warm, engine=engine),
+        "ablation_confidence_penalty": (
+            lambda: S.ablation_confidence_penalty(
+                sweep_names, budget, warmup_instructions=warm,
+                engine=engine)),
+        "ablation_repair_budget": lambda: S.ablation_repair_budget(
+            sweep_names, budget, warmup_instructions=warm, engine=engine),
+        "ablation_phase_detection": lambda: S.ablation_phase_detection(
+            sweep_names, budget, warmup_instructions=warm, engine=engine),
+        "ablation_markov": lambda: S.ablation_markov(
+            workloads or ["dot", "mcf", "parser"], budget,
+            warmup_instructions=warm, engine=engine),
+        "resilience": lambda: E.resilience(
+            workloads=sweep_names, engine=engine),
+    }
+    RESULTS.mkdir(exist_ok=True)
+    for name, produce in producers.items():
+        print(f"regenerating {name} ...", file=sys.stderr)
+        result = produce()
+        (RESULTS / f"{name}.txt").write_text(result.render() + "\n")
+    print(engine.stats.summary(), file=sys.stderr)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--regenerate",
+        action="store_true",
+        help=(
+            "re-run every experiment through the engine (honouring "
+            "REPRO_BENCH_* budgets) before rebuilding EXPERIMENTS.md"
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, metavar="N", default=1,
+        help="engine worker processes for --regenerate",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="with --regenerate: bypass cached results and re-simulate",
+    )
+    parser.add_argument(
+        "--workloads", default=None,
+        help="with --regenerate: comma-separated workload subset",
+    )
+    # Tests call main() directly; only the __main__ guard passes argv.
+    args = parser.parse_args([] if argv is None else argv)
+    if args.regenerate:
+        workloads = None
+        if args.workloads:
+            workloads = [
+                w.strip() for w in args.workloads.split(",") if w.strip()
+            ]
+        regenerate(args.jobs, args.refresh, workloads)
     text = EXPERIMENTS.read_text()
     block = "## Reference tables\n\n```\n" + collect_tables() + "\n```\n"
     pattern = re.compile(
@@ -92,4 +189,4 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))
