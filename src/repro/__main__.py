@@ -72,6 +72,16 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="re-simulate every job and overwrite its cache entry",
     )
+    parser.add_argument(
+        "--fast",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "use the pre-decoded fast interpreter (default; --no-fast "
+            "selects the reference step loop — byte-identical results, "
+            "distinct cache entries)"
+        ),
+    )
 
 
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
@@ -284,6 +294,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_cycles=args.max_cycles,
             wall_time_limit=args.wall_time_limit,
             observer=observer,
+            fast=args.fast,
         )
         _export_observer(observer, args, workload=args.workload)
     else:
@@ -297,6 +308,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             max_cycles=args.max_cycles,
             wall_time_limit=args.wall_time_limit,
+            fast=args.fast,
         )
         outcome = engine.run([job], isolate=False)[0]
         result = outcome.result
@@ -371,7 +383,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     workloads = None
     if args.workloads:
         workloads = [w.strip() for w in args.workloads.split(",")]
-    kwargs = {"workloads": workloads}
+    kwargs = {"workloads": workloads, "fast": args.fast}
     if args.instructions is not None:
         kwargs["max_instructions"] = args.instructions
     if args.warmup is not None:
@@ -404,6 +416,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         warmup_instructions=args.warmup,
         seed=args.seed,
         observer=observer,
+        fast=args.fast,
     )
     timelines = observer.timelines.to_dicts()
     if args.json_out:
@@ -511,6 +524,7 @@ def _cmd_claims(args: argparse.Namespace) -> int:
         max_instructions=args.instructions,
         warmup=args.warmup,
         engine=engine,
+        fast=args.fast,
     )
     print(render_verdicts(verdicts))
     print(engine.stats.summary(), file=sys.stderr)

@@ -324,6 +324,12 @@ class SimulationConfig:
     #: disables the ceiling; commit-stall detection is always armed.
     max_cycles: Optional[float] = None
     wall_time_limit: Optional[float] = None
+    #: Use the pre-decoded fast interpreter (repro.cpu.fastpath).  The
+    #: slow generic loop (``fast=False``) is kept as the differential
+    #: reference; both produce byte-identical results.  Part of the
+    #: config (and thus the result-cache key) so cached fast and slow
+    #: runs never alias.
+    fast: bool = True
 
     def __post_init__(self) -> None:
         policy = self.policy
@@ -363,6 +369,8 @@ class SimulationConfig:
             )
         if not isinstance(self.seed, int):
             raise ConfigError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.fast, bool):
+            raise ConfigError(f"fast must be a bool, got {self.fast!r}")
         for name in ("max_cycles", "wall_time_limit"):
             value = getattr(self, name)
             if value is None:

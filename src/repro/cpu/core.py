@@ -39,6 +39,12 @@ from ..memory.hierarchy import MemoryHierarchy
 from ..memory.mainmem import DataMemory
 from .context import ThreadContext
 from .executor import Executor
+from .fastpath import (
+    ALU_LATENCY,
+    compile_batches,
+    compile_program,
+    compile_trace,
+)
 
 #: Execution latencies (cycles) by opcode class.
 _INT_LATENCY = 1
@@ -90,12 +96,17 @@ class SMTCore:
         hierarchy: MemoryHierarchy,
         config: MachineConfig,
         runtime: Optional[object] = None,
+        fast: bool = True,
     ) -> None:
         self.program = program
         self.memory = memory
         self.hierarchy = hierarchy
         self.config = config
         self.runtime = runtime
+        #: Use the pre-decoded fast interpreter (repro.cpu.fastpath).
+        #: ``fast=False`` keeps the generic step loop; both paths are
+        #: byte-identical (tests/test_fastpath_equivalence.py).
+        self.fast = fast
         #: Resilience hooks (repro.faults), injected by the Simulation:
         #: a FaultInjector ticked every step, and a Watchdog checked every
         #: ``watchdog.check_interval`` steps.  Both optional and duck-typed.
@@ -129,6 +140,14 @@ class SMTCore:
         self._trace = None
         self._trace_idx = 0
         self._trace_entry_issue = 0.0
+
+        # Fast-path state: per-PC decoded handlers + basic-block run
+        # lengths for the program (built lazily on the first run), and
+        # the handler list for the currently-executing trace.
+        self._fast_handlers = None
+        self._fast_block_len = None
+        self._fast_batches = None
+        self._trace_handlers = None
 
     # ------------------------------------------------------------------
     @property
@@ -214,16 +233,7 @@ class SMTCore:
         rb = inst.rb
         if rb is not None and ready[rb] > start:
             start = ready[rb]
-        op = inst.opcode
-        if op is Opcode.MULQ:
-            latency = _MUL_LATENCY
-        elif op is Opcode.DIVF:
-            latency = _DIV_LATENCY
-        elif op in (Opcode.ADDF, Opcode.SUBF, Opcode.MULF):
-            latency = _FP_LATENCY
-        else:
-            latency = _INT_LATENCY
-        completion = start + latency
+        completion = start + ALU_LATENCY.get(inst.opcode, _INT_LATENCY)
         if inst.rd is not None and inst.rd != 31:
             ready[inst.rd] = completion
         return completion
@@ -243,14 +253,25 @@ class SMTCore:
         watchdog sees a commit stall or an exhausted cycle or wall-time
         budget.
         """
-        budget = max_instructions
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.start()
+            watchdog.reset_progress()
+        if self.fast:
+            self._run_fast(max_instructions)
+        else:
+            self._run_slow(max_instructions)
+        if drain:
+            self.hierarchy.drain(int(self.cycles) + 1)
+        return self.stats
+
+    def _run_slow(self, budget: int) -> None:
+        """The generic re-decoding step loop (``fast=False``)."""
         stats = self.stats
         injector = self.injector
         watchdog = self.watchdog
         steps_until_check = 0
         if watchdog is not None:
-            watchdog.start()
-            watchdog.reset_progress()
             steps_until_check = watchdog.check_interval
         while not self.ctx.halted and stats.committed < budget:
             if self._trace is not None:
@@ -267,9 +288,86 @@ class SMTCore:
                 if steps_until_check <= 0:
                     steps_until_check = watchdog.check_interval
                     watchdog.check(stats.committed, self.cycles)
-        if drain:
-            self.hierarchy.drain(int(self.cycles) + 1)
-        return self.stats
+
+    def _run_fast(self, budget: int) -> None:
+        """Pre-decoded dispatch loop; see :mod:`repro.cpu.fastpath`.
+
+        Two variants.  With a runtime or injector attached, every step
+        is followed by the same ``runtime.tick``/``injector.tick``/
+        watchdog sequence as :meth:`_run_slow`, in the same order, so
+        helper-thread dispatch and fault timing are cycle-identical.
+        Without them, straight-line runs of pure-register instructions
+        execute as a batch: no memory, branch, or hook can fire inside
+        a batch, and the watchdog clamp below makes every
+        ``watchdog.check`` land on the exact step it would have in the
+        per-step loop.
+        """
+        ctx = self.ctx
+        stats = self.stats
+        runtime = self.runtime
+        injector = self.injector
+        watchdog = self.watchdog
+        handlers = self._fast_handlers
+        if handlers is None:
+            handlers, self._fast_block_len = compile_program(self)
+            self._fast_handlers = handlers
+        check_interval = 0
+        steps_until_check = 0
+        if watchdog is not None:
+            check_interval = watchdog.check_interval
+            steps_until_check = check_interval
+
+        if runtime is not None or injector is not None:
+            while not ctx.halted and stats.committed < budget:
+                if self._trace is not None:
+                    self._trace_handlers[self._trace_idx]()
+                else:
+                    handlers[ctx.pc]()
+                if runtime is not None:
+                    runtime.tick(self._issue_clock)
+                if injector is not None:
+                    injector.tick(self._issue_clock, stats.committed)
+                if watchdog is not None:
+                    steps_until_check -= 1
+                    if steps_until_check <= 0:
+                        steps_until_check = check_interval
+                        watchdog.check(stats.committed, self.cycles)
+            return
+
+        # No per-step hooks: batched basic-block execution.  (Traces
+        # cannot be active here — entering one requires a runtime.)
+        # Full blocks run as a single pre-compiled closure that keeps
+        # the scalar pipeline state in locals (see fastpath.compile_
+        # batches); clamped runs — budget tail or a watchdog boundary —
+        # fall back to stepping the per-instruction handlers.
+        block_len = self._fast_block_len
+        batches = self._fast_batches
+        if batches is None:
+            batches = compile_batches(self)
+            self._fast_batches = batches
+        while not ctx.halted and stats.committed < budget:
+            pc = ctx.pc
+            run_len = block_len[pc]
+            remaining = budget - stats.committed
+            if run_len > remaining:
+                run_len = remaining
+            if watchdog is not None:
+                if run_len > steps_until_check:
+                    run_len = steps_until_check
+            if run_len > 1:
+                if run_len == block_len[pc]:
+                    batches[pc]()
+                else:
+                    for handler in handlers[pc:pc + run_len]:
+                        handler()
+            else:
+                handlers[pc]()
+                run_len = 1
+            if watchdog is not None:
+                steps_until_check -= run_len
+                if steps_until_check <= 0:
+                    steps_until_check = check_interval
+                    watchdog.check(stats.committed, self.cycles)
 
     def _enter_trace_if_patched(self, pc: int) -> None:
         runtime = self.runtime
@@ -277,19 +375,45 @@ class SMTCore:
             return
         trace = runtime.trace_at(pc)
         if trace is not None:
-            self._trace = trace
-            self._trace_idx = 0
-            self._trace_entry_issue = self._issue_clock
-            self.stats.trace_entries += 1
-            obs = self.obs
-            if obs is not None and trace.trace_id != self._obs_last_trace:
-                self._obs_last_trace = trace.trace_id
-                obs.emit(
-                    "trace_enter",
-                    self._issue_clock,
-                    trace_id=trace.trace_id,
-                    pc=pc,
-                )
+            self._enter_trace(trace, pc)
+
+    def _enter_trace(self, trace, pc: int) -> None:
+        """Switch execution into ``trace`` (the PC hit a patched head).
+
+        Split from :meth:`_enter_trace_if_patched` so decoded fast-path
+        handlers, which probe the patch map themselves, can enter
+        directly without re-resolving the trace.
+        """
+        self._trace = trace
+        self._trace_idx = 0
+        self._trace_entry_issue = self._issue_clock
+        if self.fast:
+            # Decoded handlers are cached on the trace, keyed on
+            # body identity + length: derived traces are new
+            # objects (no stale cache), and in-place patches to
+            # prefetch displacements are read live by the handlers
+            # so they never invalidate the cache.
+            cached = getattr(trace, "_fast_cache", None)
+            if (
+                cached is not None
+                and cached[0] is trace.body
+                and cached[1] == len(trace.body)
+            ):
+                self._trace_handlers = cached[2]
+            else:
+                handlers = compile_trace(self, trace)
+                trace._fast_cache = (trace.body, len(trace.body), handlers)
+                self._trace_handlers = handlers
+        self.stats.trace_entries += 1
+        obs = self.obs
+        if obs is not None and trace.trace_id != self._obs_last_trace:
+            self._obs_last_trace = trace.trace_id
+            obs.emit(
+                "trace_enter",
+                self._issue_clock,
+                trace_id=trace.trace_id,
+                pc=pc,
+            )
 
     def _step_original(self) -> None:
         ctx = self.ctx

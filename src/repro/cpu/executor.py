@@ -5,6 +5,12 @@ reports what the timing model needs: the effective address of memory
 operations and the direction of branches.  It never touches the cache
 hierarchy — timing is the core's job.
 
+Dispatch is table-driven: one module-level handler per opcode, bound
+into ``_DISPATCH`` at import time, so ``execute`` pays a single dict
+lookup instead of walking an ``if/elif`` chain.  The same tables back
+the pre-decoded fast path (:mod:`repro.cpu.fastpath`), which resolves
+the handler once per instruction instead of once per dynamic execution.
+
 ``ExecResult`` is a single mutable object reused across calls to avoid a
 per-instruction allocation; callers must consume it before the next
 ``execute``.
@@ -49,6 +55,141 @@ class ExecResult:
         self.jump_target: Optional[int] = None
 
 
+# ---------------------------------------------------------------------------
+# ALU value functions: rd <- fn(a, b).  Shared by the generic executor and
+# the decoded fast path; keyed by opcode so adding an opcode is one entry.
+# ---------------------------------------------------------------------------
+ALU_OPS = {
+    Opcode.ADDQ: lambda a, b: _wrap64(int(a) + int(b)),
+    Opcode.SUBQ: lambda a, b: _wrap64(int(a) - int(b)),
+    Opcode.MULQ: lambda a, b: _wrap64(int(a) * int(b)),
+    Opcode.AND: lambda a, b: int(a) & int(b),
+    Opcode.OR: lambda a, b: int(a) | int(b),
+    Opcode.XOR: lambda a, b: int(a) ^ int(b),
+    Opcode.SLL: lambda a, b: _wrap64(int(a) << (int(b) & 63)),
+    Opcode.SRL: lambda a, b: (int(a) & _U64) >> (int(b) & 63),
+    Opcode.ADDF: lambda a, b: a + b,
+    Opcode.SUBF: lambda a, b: a - b,
+    Opcode.MULF: lambda a, b: a * b,
+    Opcode.DIVF: lambda a, b: a / b if b else 0.0,
+    Opcode.CMPEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.CMPLT: lambda a, b: 1 if a < b else 0,
+    Opcode.CMPLE: lambda a, b: 1 if a <= b else 0,
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode step handlers.  Signature: (inst, ctx, memory, result) -> None.
+# Control flow is *reported*, not applied: branches set ``result.taken``
+# (and ``result.jump_target`` for JMP) and the caller decides the next PC,
+# because trace execution and original execution handle branches
+# differently.
+# ---------------------------------------------------------------------------
+def _exec_ldq(inst, ctx, memory, result) -> None:
+    regs = ctx.regs
+    ea = int(regs[inst.ra]) + inst.disp
+    result.ea = ea
+    if inst.rd != ZERO_REGISTER:
+        regs[inst.rd] = memory.read(ea)
+
+
+def _exec_ldq_nf(inst, ctx, memory, result) -> None:
+    regs = ctx.regs
+    ea = int(regs[inst.ra]) + inst.disp
+    result.ea = ea
+    if inst.rd != ZERO_REGISTER:
+        regs[inst.rd] = memory.read_quiet(ea)
+
+
+def _exec_stq(inst, ctx, memory, result) -> None:
+    regs = ctx.regs
+    ea = int(regs[inst.ra]) + inst.disp
+    result.ea = ea
+    memory.write(ea, regs[inst.rd])
+
+
+def _exec_prefetch(inst, ctx, memory, result) -> None:
+    result.ea = int(ctx.regs[inst.ra]) + inst.disp
+
+
+def _exec_lda(inst, ctx, memory, result) -> None:
+    regs = ctx.regs
+    if inst.rd != ZERO_REGISTER:
+        regs[inst.rd] = int(regs[inst.ra]) + inst.disp
+
+
+def _exec_move(inst, ctx, memory, result) -> None:
+    regs = ctx.regs
+    if inst.rd != ZERO_REGISTER:
+        regs[inst.rd] = regs[inst.ra]
+
+
+def _exec_nop(inst, ctx, memory, result) -> None:
+    pass
+
+
+def _exec_halt(inst, ctx, memory, result) -> None:
+    result.halted = True
+    ctx.halted = True
+
+
+def _exec_br(inst, ctx, memory, result) -> None:
+    result.taken = True
+
+
+def _exec_beq(inst, ctx, memory, result) -> None:
+    result.taken = ctx.regs[inst.ra] == 0
+
+
+def _exec_bne(inst, ctx, memory, result) -> None:
+    result.taken = ctx.regs[inst.ra] != 0
+
+
+def _exec_blt(inst, ctx, memory, result) -> None:
+    result.taken = ctx.regs[inst.ra] < 0
+
+
+def _exec_bge(inst, ctx, memory, result) -> None:
+    result.taken = ctx.regs[inst.ra] >= 0
+
+
+def _exec_jmp(inst, ctx, memory, result) -> None:
+    result.taken = True
+    result.jump_target = int(ctx.regs[inst.ra])
+
+
+def _make_exec_alu(op_fn):
+    def exec_alu(inst, ctx, memory, result) -> None:
+        regs = ctx.regs
+        a = regs[inst.ra]
+        b = regs[inst.rb] if inst.rb is not None else inst.imm
+        value = op_fn(a, b)
+        if inst.rd != ZERO_REGISTER:
+            regs[inst.rd] = value
+
+    return exec_alu
+
+
+_DISPATCH = {
+    Opcode.LDQ: _exec_ldq,
+    Opcode.LDQ_NF: _exec_ldq_nf,
+    Opcode.STQ: _exec_stq,
+    Opcode.PREFETCH: _exec_prefetch,
+    Opcode.LDA: _exec_lda,
+    Opcode.MOVE: _exec_move,
+    Opcode.NOP: _exec_nop,
+    Opcode.HALT: _exec_halt,
+    Opcode.BR: _exec_br,
+    Opcode.BEQ: _exec_beq,
+    Opcode.BNE: _exec_bne,
+    Opcode.BLT: _exec_blt,
+    Opcode.BGE: _exec_bge,
+    Opcode.JMP: _exec_jmp,
+}
+for _op, _fn in ALU_OPS.items():
+    _DISPATCH[_op] = _make_exec_alu(_fn)
+
+
 class Executor:
     """Executes instructions against a context and data memory."""
 
@@ -57,98 +198,21 @@ class Executor:
         self.result = ExecResult()
 
     def execute(self, inst: Instruction, ctx: ThreadContext) -> ExecResult:
-        """Execute ``inst``; returns the shared :class:`ExecResult`.
-
-        Control flow is *reported*, not applied: branches set
-        ``result.taken`` (and ``result.jump_target`` for JMP) and the
-        caller decides the next PC, because trace execution and original
-        execution handle branches differently.
-        """
+        """Execute ``inst``; returns the shared :class:`ExecResult`."""
         result = self.result
         result.reset()
-        regs = ctx.regs
-        op = inst.opcode
-
-        if op is Opcode.LDQ:
-            ea = int(regs[inst.ra]) + inst.disp
-            result.ea = ea
-            if inst.rd != ZERO_REGISTER:
-                regs[inst.rd] = self.memory.read(ea)
-        elif op is Opcode.LDQ_NF:
-            ea = int(regs[inst.ra]) + inst.disp
-            result.ea = ea
-            if inst.rd != ZERO_REGISTER:
-                regs[inst.rd] = self.memory.read_quiet(ea)
-        elif op is Opcode.STQ:
-            ea = int(regs[inst.ra]) + inst.disp
-            result.ea = ea
-            self.memory.write(ea, regs[inst.rd])
-        elif op is Opcode.PREFETCH:
-            result.ea = int(regs[inst.ra]) + inst.disp
-        elif op is Opcode.LDA:
-            if inst.rd != ZERO_REGISTER:
-                regs[inst.rd] = int(regs[inst.ra]) + inst.disp
-        elif op is Opcode.MOVE:
-            if inst.rd != ZERO_REGISTER:
-                regs[inst.rd] = regs[inst.ra]
-        elif op is Opcode.NOP:
-            pass
-        elif op is Opcode.HALT:
-            result.halted = True
-            ctx.halted = True
-        elif op is Opcode.BR:
-            result.taken = True
-        elif op is Opcode.BEQ:
-            result.taken = regs[inst.ra] == 0
-        elif op is Opcode.BNE:
-            result.taken = regs[inst.ra] != 0
-        elif op is Opcode.BLT:
-            result.taken = regs[inst.ra] < 0
-        elif op is Opcode.BGE:
-            result.taken = regs[inst.ra] >= 0
-        elif op is Opcode.JMP:
-            result.taken = True
-            result.jump_target = int(regs[inst.ra])
-        else:
-            value = self._alu(inst, regs)
-            if inst.rd != ZERO_REGISTER:
-                regs[inst.rd] = value
+        handler = _DISPATCH.get(inst.opcode)
+        if handler is None:
+            raise ValueError(f"unhandled opcode {inst.opcode}")
+        handler(inst, ctx, self.memory, result)
         return result
 
     @staticmethod
     def _alu(inst: Instruction, regs) -> float:
         """Evaluate a three-operand ALU instruction."""
+        op_fn = ALU_OPS.get(inst.opcode)
+        if op_fn is None:
+            raise ValueError(f"unhandled opcode {inst.opcode}")
         a = regs[inst.ra]
         b = regs[inst.rb] if inst.rb is not None else inst.imm
-        op = inst.opcode
-        if op is Opcode.ADDQ:
-            return _wrap64(int(a) + int(b))
-        if op is Opcode.SUBQ:
-            return _wrap64(int(a) - int(b))
-        if op is Opcode.MULQ:
-            return _wrap64(int(a) * int(b))
-        if op is Opcode.AND:
-            return int(a) & int(b)
-        if op is Opcode.OR:
-            return int(a) | int(b)
-        if op is Opcode.XOR:
-            return int(a) ^ int(b)
-        if op is Opcode.SLL:
-            return _wrap64(int(a) << (int(b) & 63))
-        if op is Opcode.SRL:
-            return (int(a) & _U64) >> (int(b) & 63)
-        if op is Opcode.ADDF:
-            return a + b
-        if op is Opcode.SUBF:
-            return a - b
-        if op is Opcode.MULF:
-            return a * b
-        if op is Opcode.DIVF:
-            return a / b if b else 0.0
-        if op is Opcode.CMPEQ:
-            return 1 if a == b else 0
-        if op is Opcode.CMPLT:
-            return 1 if a < b else 0
-        if op is Opcode.CMPLE:
-            return 1 if a <= b else 0
-        raise ValueError(f"unhandled opcode {op}")
+        return op_fn(a, b)

@@ -164,6 +164,7 @@ def evaluate_claims(
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     engine=None,
+    fast: bool = True,
 ) -> List[Verdict]:
     """Run the experiments each claim needs and grade all claims.
 
@@ -173,7 +174,7 @@ def evaluate_claims(
     """
     kwargs = dict(
         workloads=workloads, max_instructions=max_instructions,
-        warmup=warmup, engine=engine,
+        warmup=warmup, engine=engine, fast=fast,
     )
     cache: Dict = {
         "fig2": E.fig2_hw_baseline(**kwargs),

@@ -116,6 +116,7 @@ def make_job(
     max_cycles: Optional[float] = None,
     wall_time_limit: Optional[float] = None,
     sample_interval: Optional[int] = None,
+    fast: bool = True,
     group: str = "",
 ) -> SimJob:
     """Build a :class:`SimJob` with ``run_simulation``'s signature."""
@@ -129,6 +130,7 @@ def make_job(
         seed=seed,
         max_cycles=max_cycles,
         wall_time_limit=wall_time_limit,
+        fast=fast,
     )
     return SimJob(
         workload=workload,

@@ -170,6 +170,7 @@ def fig2_hw_baseline(
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> Fig2Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
@@ -182,15 +183,15 @@ def fig2_hw_baseline(
     for name in names:
         jobs.append(make_job(
             name, policy=PrefetchPolicy.NONE,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
         jobs.append(make_job(
             name, policy=PrefetchPolicy.HW_ONLY, machine=machine_4x4,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
         jobs.append(make_job(
             name, policy=PrefetchPolicy.HW_ONLY,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
     grouped = run_workload_groups(_engine(engine), jobs, result.errors)
     for name in names:
@@ -256,6 +257,7 @@ def fig3_overhead(
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> Fig3Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
@@ -265,16 +267,16 @@ def fig3_overhead(
     for name in names:
         jobs.append(make_job(
             name, policy=PrefetchPolicy.HW_ONLY,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
         jobs.append(make_job(
             name, policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
             overhead_only=True,
         ))
         jobs.append(make_job(
             name, policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
     grouped = run_workload_groups(_engine(engine), jobs, result.errors)
     for name in names:
@@ -338,6 +340,7 @@ def fig4_coverage(
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> Fig4Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
@@ -352,11 +355,11 @@ def fig4_coverage(
     for name in names:
         jobs.append(make_job(
             name, policy=PrefetchPolicy.TRACE_ONLY,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
         jobs.append(make_job(
             name, policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
     grouped = run_workload_groups(_engine(engine), jobs, result.errors)
     for name in names:
@@ -440,6 +443,7 @@ def fig5_policies(
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> Fig5Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
@@ -454,12 +458,12 @@ def fig5_policies(
     for name in names:
         jobs.append(make_job(
             name, policy=PrefetchPolicy.HW_ONLY,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
         for _, policy in policies:
             jobs.append(make_job(
                 name, policy=policy,
-                max_instructions=budget, warmup_instructions=warm,
+                max_instructions=budget, warmup_instructions=warm, fast=fast,
             ))
     grouped = run_workload_groups(_engine(engine), jobs, result.errors)
     for name in names:
@@ -510,6 +514,7 @@ def fig6_breakdown(
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> Fig6Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
@@ -518,7 +523,7 @@ def fig6_breakdown(
     jobs = [
         make_job(
             name, policy=PrefetchPolicy.SELF_REPAIRING,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         )
         for name in names
     ]
@@ -569,13 +574,14 @@ def _hw_baselines(
     budget: int,
     warm: int,
     errors: List[Dict],
+    fast: bool = True,
 ) -> Dict[str, "object"]:
     """Shared HW_ONLY baselines, one engine batch (cache-deduplicated
     across every figure and sweep that asks for the same budget)."""
     jobs = [
         make_job(
             name, policy=PrefetchPolicy.HW_ONLY,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         )
         for name in names
     ]
@@ -596,13 +602,14 @@ def fig7_threshold_sweep(
     windows: Sequence[int] = (128, 256, 512),
     rates: Sequence[float] = (0.01, 0.03, 0.06, 0.12),
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> Fig7Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
     warm = bench_warmup() if warmup is None else warmup
     result = Fig7Result(windows=list(windows), rates=list(rates))
     eng = _engine(engine)
-    baselines = _hw_baselines(eng, names, budget, warm, result.errors)
+    baselines = _hw_baselines(eng, names, budget, warm, result.errors, fast=fast)
     cells = [(window, rate) for window in windows for rate in rates]
     jobs = []
     for window, rate in cells:
@@ -612,7 +619,7 @@ def fig7_threshold_sweep(
                 name,
                 policy=PrefetchPolicy.SELF_REPAIRING,
                 trident=TridentConfig().with_dlt(dlt),
-                max_instructions=budget, warmup_instructions=warm,
+                max_instructions=budget, warmup_instructions=warm, fast=fast,
             ))
     outcomes = eng.run(jobs)
     # A workload failing mid-sweep is recorded once and excluded from
@@ -674,6 +681,7 @@ def fig8_dlt_sweep(
     sizes: Sequence[int] = (128, 256, 512, 1024, 2048),
     spotlight: Sequence[str] = ("dot", "parser"),
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> Fig8Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
@@ -683,7 +691,7 @@ def fig8_dlt_sweep(
         spotlight=[s for s in spotlight if s in names],
     )
     eng = _engine(engine)
-    baselines = _hw_baselines(eng, names, budget, warm, result.errors)
+    baselines = _hw_baselines(eng, names, budget, warm, result.errors, fast=fast)
     jobs = []
     for size in sizes:
         dlt = DLTConfig().with_entries(size)
@@ -692,7 +700,7 @@ def fig8_dlt_sweep(
                 name,
                 policy=PrefetchPolicy.SELF_REPAIRING,
                 trident=TridentConfig().with_dlt(dlt),
-                max_instructions=budget, warmup_instructions=warm,
+                max_instructions=budget, warmup_instructions=warm, fast=fast,
             ))
     outcomes = eng.run(jobs)
     failed: set = set()
@@ -775,6 +783,7 @@ def fig9_sw_vs_hw(
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> Fig9Result:
     names = bench_workloads(workloads)
     budget = max_instructions or bench_instructions()
@@ -790,7 +799,7 @@ def fig9_sw_vs_hw(
         ):
             jobs.append(make_job(
                 name, policy=policy,
-                max_instructions=budget, warmup_instructions=warm,
+                max_instructions=budget, warmup_instructions=warm, fast=fast,
             ))
     grouped = run_workload_groups(_engine(engine), jobs, result.errors)
     for name in names:
@@ -840,6 +849,7 @@ def cache_equivalent_area(
     max_instructions: Optional[int] = None,
     warmup: Optional[int] = None,
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> CacheEquivResult:
     """Enlarge the L1 by the monitoring structures' storage (~24 KB: 1024
     DLT entries x ~22 bytes + 256 watch entries) and measure the gain."""
@@ -852,11 +862,11 @@ def cache_equivalent_area(
     for name in names:
         jobs.append(make_job(
             name, policy=PrefetchPolicy.HW_ONLY,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
         jobs.append(make_job(
             name, policy=PrefetchPolicy.HW_ONLY, machine=bigger,
-            max_instructions=budget, warmup_instructions=warm,
+            max_instructions=budget, warmup_instructions=warm, fast=fast,
         ))
     grouped = run_workload_groups(_engine(engine), jobs, result.errors)
     for name in names:
@@ -971,6 +981,7 @@ def _resilience_one_policy(
     extra_cycles: int,
     seed: int,
     trace_out: Optional[str] = None,
+    fast: bool = True,
 ) -> Dict:
     """Run one workload/policy pair sampled in IPC windows around an
     injected permanent DRAM latency increase at the halfway boundary.
@@ -990,7 +1001,7 @@ def _resilience_one_policy(
         policy=policy,
         trident=TridentConfig(phase_detection=True),
         max_instructions=chunk * chunks,
-        warmup_instructions=warm,
+        warmup_instructions=warm, fast=fast,
         seed=seed,
     )
     obs = Observer(sample_interval=chunk)
@@ -1050,6 +1061,7 @@ def resilience(
     seed: int = 1,
     trace_out: Optional[str] = None,
     engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
 ) -> ResilienceResult:
     """Chaos-test the self-repair loop: inject a permanent DRAM latency
     increase mid-run and compare how BASIC and SELF_REPAIRING reconverge.
@@ -1083,7 +1095,7 @@ def resilience(
                 name, policy=policy,
                 trident=TridentConfig(phase_detection=True),
                 max_instructions=chunk * chunks,
-                warmup_instructions=warm,
+                warmup_instructions=warm, fast=fast,
                 seed=seed,
                 fault_plan=plan,
                 sample_interval=chunk,
@@ -1119,7 +1131,7 @@ def resilience(
                     )
                 row[key] = _resilience_one_policy(
                     name, policy, budget, warm, chunks, extra_cycles, seed,
-                    trace_out=out,
+                    trace_out=out, fast=fast,
                 )
             return row
 

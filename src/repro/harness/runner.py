@@ -273,6 +273,7 @@ class Simulation:
             hierarchy=self.hierarchy,
             config=machine,
             runtime=self.runtime,
+            fast=self.config.fast,
         )
 
         # Resilience layer: commit-stall detection is always armed (it is
@@ -468,6 +469,7 @@ def run_simulation(
     wall_time_limit: Optional[float] = None,
     observer: Optional[Observer] = None,
     sample_interval: Optional[int] = None,
+    fast: bool = True,
 ) -> SimulationResult:
     """Convenience one-call simulation (the quickstart entry point).
 
@@ -491,6 +493,7 @@ def run_simulation(
         seed=seed,
         max_cycles=max_cycles,
         wall_time_limit=wall_time_limit,
+        fast=fast,
     )
     return Simulation(
         workload,

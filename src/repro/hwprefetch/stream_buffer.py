@@ -62,6 +62,18 @@ class StreamBufferPrefetcher:
         self._buffers: List[Optional[_StreamBuffer]] = [
             None for _ in range(config.num_buffers)
         ]
+        # Power-of-two line sizes (the common case) get mask arithmetic
+        # on the per-load hot path; identical values to the %-based form.
+        self._pow2 = line_size > 0 and (line_size & (line_size - 1)) == 0
+        self._block_mask = ~(line_size - 1)
+        # When our line geometry matches the hierarchy's (always true in
+        # the harness, which passes machine.line_size for both), the
+        # skip-search can hand the hierarchy its own block address and
+        # skip the per-probe realignment.
+        self._blocks_shared = (
+            getattr(hierarchy, "_line_size", None) == line_size
+            and hasattr(hierarchy, "hardware_prefetch_block")
+        )
         #: block address -> owning buffer, for O(1) demand probes.
         self._block_map: Dict[int, _StreamBuffer] = {}
         self._clock = 0
@@ -71,6 +83,8 @@ class StreamBufferPrefetcher:
 
     # ------------------------------------------------------------------
     def _block_of(self, addr: int) -> int:
+        if self._pow2:
+            return addr & self._block_mask
         return addr - (addr % self.line_size)
 
     def _issue_next(self, buffer: _StreamBuffer, cycle: int) -> None:
@@ -82,6 +96,7 @@ class StreamBufferPrefetcher:
         is only spent on a real outstanding fetch, so the buffer extends
         its lead *beyond* whatever is already covered.
         """
+        blocks_shared = self._blocks_shared
         for _ in range(8):  # bound the skip search
             addr = buffer.next_addr
             if addr is None:
@@ -94,7 +109,13 @@ class StreamBufferPrefetcher:
             block = self._block_of(addr)
             if block in buffer.blocks or block in self._block_map:
                 continue
-            if not self.hierarchy.hardware_prefetch(addr, cycle):
+            if blocks_shared:
+                issued = self.hierarchy.hardware_prefetch_block(
+                    addr, block, cycle
+                )
+            else:
+                issued = self.hierarchy.hardware_prefetch(addr, cycle)
+            if not issued:
                 continue  # resident or pending already: nothing to track
             self.prefetches_issued += 1
             buffer.blocks.append(block)
@@ -155,10 +176,10 @@ class StreamBufferPrefetcher:
                 slot = i
                 break
         if slot is None:
-            slot = min(
-                range(len(self._buffers)),
-                key=lambda i: self._buffers[i].last_use,
-            )
+            slot, oldest = 0, self._buffers[0].last_use
+            for i, buffer in enumerate(self._buffers):
+                if buffer.last_use < oldest:
+                    slot, oldest = i, buffer.last_use
             for stale in self._buffers[slot].blocks:
                 self._block_map.pop(stale, None)
         if stride is not None:

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class _StrideEntry:
     tag: int = -1
     last_addr: int = 0

@@ -40,6 +40,19 @@ class SetAssociativeCache:
         self.name = name
         self.num_sets = config.num_sets
         self.line_size = config.line_size
+        # Power-of-two geometry (the common case) lets the hot paths use
+        # mask/shift arithmetic — identical values to the %-based math
+        # for every int, including negatives (Python's // and % floor,
+        # and so do >> and &-with-mask on two's-complement bigints).
+        line = self.line_size
+        nsets = self.num_sets
+        self._pow2 = (
+            line > 0 and (line & (line - 1)) == 0
+            and nsets > 0 and (nsets & (nsets - 1)) == 0
+        )
+        self._block_mask = ~(line - 1)
+        self._line_shift = line.bit_length() - 1
+        self._set_mask = nsets - 1
         # set index -> OrderedDict[block -> CacheLine]; last item is MRU.
         self._sets: Dict[int, OrderedDict] = {}
         #: Block addresses evicted by a prefetch install, awaiting a
@@ -51,9 +64,13 @@ class SetAssociativeCache:
 
     # ------------------------------------------------------------------
     def block_of(self, addr: int) -> int:
+        if self._pow2:
+            return addr & self._block_mask
         return addr - (addr % self.line_size)
 
     def _set_index(self, block: int) -> int:
+        if self._pow2:
+            return (block >> self._line_shift) & self._set_mask
         return (block // self.line_size) % self.num_sets
 
     def _set_for(self, block: int) -> OrderedDict:
@@ -71,9 +88,14 @@ class SetAssociativeCache:
         With ``touch=False`` the lookup is a pure probe: no LRU update, no
         counter change (used by the hierarchy when classifying).
         """
-        block = self.block_of(addr)
-        bucket = self._set_for(block)
-        line = bucket.get(block)
+        if self._pow2:
+            block = addr & self._block_mask
+            index = (block >> self._line_shift) & self._set_mask
+        else:
+            block = addr - (addr % self.line_size)
+            index = (block // self.line_size) % self.num_sets
+        bucket = self._sets.get(index)
+        line = bucket.get(block) if bucket is not None else None
         if line is None:
             if touch:
                 self.misses += 1
@@ -85,8 +107,24 @@ class SetAssociativeCache:
 
     def contains(self, addr: int) -> bool:
         """Pure membership probe, no side effects."""
-        block = self.block_of(addr)
-        return block in self._set_for(block)
+        if self._pow2:
+            block = addr & self._block_mask
+            index = (block >> self._line_shift) & self._set_mask
+        else:
+            block = addr - (addr % self.line_size)
+            index = (block // self.line_size) % self.num_sets
+        bucket = self._sets.get(index)
+        return bucket is not None and block in bucket
+
+    def contains_block(self, block: int) -> bool:
+        """`contains` for an already line-aligned block address (skips
+        the alignment step for callers that precomputed it)."""
+        if self._pow2:
+            index = (block >> self._line_shift) & self._set_mask
+        else:
+            index = (block // self.line_size) % self.num_sets
+        bucket = self._sets.get(index)
+        return bucket is not None and block in bucket
 
     def install(
         self,

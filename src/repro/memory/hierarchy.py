@@ -72,6 +72,26 @@ class MemoryHierarchy:
         self._pending_heap: List[Tuple[int, int]] = []
         self._bus_free = 0
 
+        # Block arithmetic, precomputed from the L1 geometry so the hot
+        # paths don't bounce through two method calls per access.
+        line = config.l1.line_size
+        self._line_size = line
+        self._pow2 = line > 0 and (line & (line - 1)) == 0
+        self._block_mask = ~(line - 1)
+
+        # L1-hit outcomes are value objects with a handful of distinct
+        # values; interning them saves a frozen-dataclass construction
+        # (four object.__setattr__ calls) on the most common load path.
+        l1_latency = config.l1.latency
+        self._outcome_hit = LoadOutcome(OutcomeKind.HIT, l1_latency, "l1")
+        self._outcome_hit_pf = {
+            src: LoadOutcome(OutcomeKind.HIT_PREFETCHED, l1_latency, "l1", src)
+            for src in PrefetchSource
+        }
+        self._outcome_hit_pf[None] = LoadOutcome(
+            OutcomeKind.HIT_PREFETCHED, l1_latency, "l1"
+        )
+
         # Observability hook (repro.obs): None costs one attribute check
         # on the hot paths; attach_observer wires the emit sites.
         self.obs = None
@@ -104,7 +124,9 @@ class MemoryHierarchy:
     # Fill plumbing.
     # ------------------------------------------------------------------
     def block_of(self, addr: int) -> int:
-        return self.l1.block_of(addr)
+        if self._pow2:
+            return addr & self._block_mask
+        return addr - (addr % self._line_size)
 
     def _fill_source_latency(self, addr: int) -> int:
         """Latency for a fill of ``addr``: where does the data come from?
@@ -223,18 +245,21 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def load(self, pc: int, addr: int, cycle: int) -> LoadOutcome:
         """Perform a demand load; classify it and return its timing."""
-        self.drain(cycle)
+        heap = self._pending_heap
+        if heap and heap[0][0] <= cycle:
+            self.drain(cycle)
         outcome = self._classify_load(addr, cycle)
         self.stats.record(outcome)
         if self.obs is not None:
             self._m_load_latency.observe(outcome.latency)
-        if self.stream_prefetcher is not None:
-            self.stream_prefetcher.on_demand_load(
-                pc=pc,
-                addr=addr,
-                l1_hit=outcome.kind
-                in (OutcomeKind.HIT, OutcomeKind.HIT_PREFETCHED),
-                cycle=cycle,
+        prefetcher = self.stream_prefetcher
+        if prefetcher is not None:
+            kind = outcome.kind
+            prefetcher.on_demand_load(
+                pc,
+                addr,
+                kind is OutcomeKind.HIT or kind is OutcomeKind.HIT_PREFETCHED,
+                cycle,
             )
         return outcome
 
@@ -246,10 +271,8 @@ class MemoryHierarchy:
                 source = line.prefetch_source
                 line.prefetched = False
                 line.prefetch_source = None
-                return LoadOutcome(
-                    OutcomeKind.HIT_PREFETCHED, l1_latency, "l1", source
-                )
-            return LoadOutcome(OutcomeKind.HIT, l1_latency, "l1")
+                return self._outcome_hit_pf[source]
+            return self._outcome_hit
 
         block = self.block_of(addr)
         fill = self._pending.get(block)
@@ -260,10 +283,7 @@ class MemoryHierarchy:
                 if remaining <= l1_latency:
                     # The prefetch fully covered the latency: the data is
                     # effectively here — a prefetched hit, not a partial.
-                    return LoadOutcome(
-                        OutcomeKind.HIT_PREFETCHED, l1_latency, "l1",
-                        fill.source,
-                    )
+                    return self._outcome_hit_pf[fill.source]
                 return LoadOutcome(
                     OutcomeKind.PARTIAL_HIT, remaining, "inflight",
                     fill.source,
@@ -271,7 +291,7 @@ class MemoryHierarchy:
             # Merge with an earlier access to the same in-flight line
             # (MSHR behaviour).  A near-complete fill is an effective hit.
             if remaining <= l1_latency:
-                return LoadOutcome(OutcomeKind.HIT, l1_latency, "l1")
+                return self._outcome_hit
             return LoadOutcome(OutcomeKind.MISS, remaining, "inflight")
 
         # Full miss: find the supplying level and start the fill.
@@ -297,7 +317,9 @@ class MemoryHierarchy:
         load: it is excluded from Figure-6 statistics and does not train
         the hardware prefetcher.
         """
-        self.drain(cycle)
+        heap = self._pending_heap
+        if heap and heap[0][0] <= cycle:
+            self.drain(cycle)
         return self._classify_load(addr, cycle)
 
     def store(self, addr: int, cycle: int) -> None:
@@ -306,7 +328,9 @@ class MemoryHierarchy:
         Stores retire through a store buffer and never stall the model; a
         store miss allocates the line (write-allocate) without timing.
         """
-        self.drain(cycle)
+        heap = self._pending_heap
+        if heap and heap[0][0] <= cycle:
+            self.drain(cycle)
         self.stats.stores += 1
         if self.l1.lookup(addr) is None and self.block_of(addr) not in self._pending:
             self.l3.install(addr)
@@ -318,7 +342,9 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def software_prefetch(self, addr: int, cycle: int) -> bool:
         """Issue a software prefetch; True when a new fill was started."""
-        self.drain(cycle)
+        heap = self._pending_heap
+        if heap and heap[0][0] <= cycle:
+            self.drain(cycle)
         self.stats.software_prefetches_issued += 1
         if self.l1.contains(addr) or self.block_of(addr) in self._pending:
             self.stats.software_prefetches_useless += 1
@@ -330,7 +356,16 @@ class MemoryHierarchy:
 
     def hardware_prefetch(self, addr: int, cycle: int) -> bool:
         """Issue a stream-buffer prefetch; True when a fill was started."""
-        if self.l1.contains(addr) or self.block_of(addr) in self._pending:
+        return self.hardware_prefetch_block(addr, self.block_of(addr), cycle)
+
+    def hardware_prefetch_block(
+        self, addr: int, block: int, cycle: int
+    ) -> bool:
+        """`hardware_prefetch` for a caller that already aligned ``addr``
+        to ``block`` with this hierarchy's geometry (the stream buffers
+        walk block-aligned candidates, so the skip-search probes here
+        without redoing the alignment arithmetic per probe)."""
+        if block in self._pending or self.l1.contains_block(block):
             return False
         self.stats.hardware_prefetches_issued += 1
         self.start_fill(

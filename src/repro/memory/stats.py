@@ -55,11 +55,12 @@ class LoadOutcome:
 
     @property
     def is_miss(self) -> bool:
-        """True when the access did not hit in the L1 (DLT's notion)."""
-        return self.kind in (
-            OutcomeKind.PARTIAL_HIT,
-            OutcomeKind.MISS,
-            OutcomeKind.MISS_DUE_TO_PREFETCH,
+        """True when the access did not hit in the L1 (DLT's notion):
+        every kind except the two L1-hit classifications."""
+        kind = self.kind
+        return (
+            kind is not OutcomeKind.HIT
+            and kind is not OutcomeKind.HIT_PREFETCHED
         )
 
     @property

@@ -289,8 +289,16 @@ class TridentRuntime:
                 )
 
     def tick(self, cycle: float) -> None:
-        self.helper.tick(cycle)
-        if self.helper.available(cycle) and len(self.events):
+        # Called once per committed instruction: inline the idle case
+        # (no job in flight) instead of paying helper.tick/available
+        # calls to discover there is nothing to do.
+        helper = self.helper
+        if helper._job is None:
+            if len(self.events) and cycle >= helper.stalled_until:
+                self._dispatch(self.events.pop(), cycle)
+            return
+        helper.tick(cycle)
+        if helper.available(cycle) and len(self.events):
             self._dispatch(self.events.pop(), cycle)
 
     def fail_helper_job(self) -> Optional[str]:

@@ -1,0 +1,121 @@
+"""Golden-trace regression suite: recompute every pinned fixture cell.
+
+``tools/update_golden.py`` freezes the full ``SimulationResult.to_dict()``
+payload of a small-budget (workload, policy) grid, plus a sha256 of its
+canonical JSON.  This suite recomputes each cell on every run — under the
+default decoded fast path *and* the reference interpreter — and diffs the
+payloads field by field, so any silent timing drift anywhere in the stack
+(interpreter, hierarchy, hardware prefetchers, Trident runtime) fails
+with a readable diff instead of quietly shifting the figures.
+
+On an *intentional* timing change, regenerate with::
+
+    PYTHONPATH=src python tools/update_golden.py
+
+and commit the rewritten fixtures with the change that justifies them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+# tools/ is not a package; load the generator module directly so the test
+# and the regeneration script can never disagree on budgets or hashing.
+_spec = importlib.util.spec_from_file_location(
+    "update_golden", ROOT / "tools" / "update_golden.py"
+)
+ug = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("update_golden", ug)
+_spec.loader.exec_module(ug)
+
+from repro.harness.runner import run_simulation  # noqa: E402
+
+CELLS = [
+    (workload, policy)
+    for workload in ug.BENCHMARK_NAMES
+    for policy in ug.POLICIES
+]
+
+
+def _flatten(payload, prefix=""):
+    """Flatten a nested payload into dotted-path -> leaf-value pairs."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            yield from _flatten(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(payload, list):
+        for i, value in enumerate(payload):
+            yield from _flatten(value, f"{prefix}[{i}]")
+    else:
+        yield prefix, payload
+
+
+def _diff(expected: dict, actual: dict) -> str:
+    """Readable per-field diff between two result payloads."""
+    exp = dict(_flatten(expected))
+    act = dict(_flatten(actual))
+    lines = []
+    for path in sorted(exp.keys() | act.keys()):
+        e, a = exp.get(path, "<absent>"), act.get(path, "<absent>")
+        if e != a:
+            lines.append(f"  {path}: golden={e!r} recomputed={a!r}")
+    return "\n".join(lines[:40]) or "  (payloads differ only in structure)"
+
+
+def _load_fixture(workload, policy) -> dict:
+    path = ug.fixture_path(workload, policy)
+    assert path.exists(), (
+        f"missing golden fixture {path.name}; run "
+        "`PYTHONPATH=src python tools/update_golden.py`"
+    )
+    return json.loads(path.read_text())
+
+
+def _recompute(spec: dict, fast: bool) -> dict:
+    result = run_simulation(
+        spec["workload"],
+        policy=spec["policy"],
+        max_instructions=spec["max_instructions"],
+        warmup_instructions=spec["warmup_instructions"],
+        seed=spec["seed"],
+        sample_interval=spec["sample_interval"],
+        fast=fast,
+    )
+    return result.to_dict()
+
+
+@pytest.mark.parametrize(
+    "workload,policy", CELLS, ids=[f"{w}-{p.value}" for w, p in CELLS]
+)
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "slow"])
+def test_golden_cell(workload, policy, fast):
+    fixture = _load_fixture(workload, policy)
+    payload = _recompute(fixture["spec"], fast=fast)
+    canon = ug.canonical(payload)
+
+    if payload != fixture["result"]:
+        pytest.fail(
+            f"timing drift vs golden {workload}/{policy.value} "
+            f"(fast={fast}):\n" + _diff(fixture["result"], payload)
+        )
+    # Byte-exact guard on top of the structural compare: key order and
+    # float formatting are part of the contract too.
+    assert canon == ug.canonical(fixture["result"])
+    assert hashlib.sha256(canon.encode()).hexdigest() == fixture["sha256"]
+
+
+def test_fixture_grid_complete():
+    """Every registered workload×policy cell has a committed fixture."""
+    missing = [
+        ug.fixture_path(w, p).name
+        for w, p in CELLS
+        if not ug.fixture_path(w, p).exists()
+    ]
+    assert not missing, f"missing fixtures: {missing}"

@@ -14,16 +14,40 @@ from repro.trident.trace import TraceInstruction
 from repro.trident.trace_formation import form_trace
 
 
+class _FakeHelper:
+    def __init__(self, busy_until=0.0):
+        self.busy_until = busy_until
+
+
+class _FakeCodeCache:
+    def __init__(self, patch_map):
+        self._patch_map = patch_map
+
+
 class FakeRuntime:
-    """Minimal runtime stub: serves one trace, records hook calls."""
+    """Minimal runtime stub: serves one trace, records hook calls.
 
-    helper_busy_until = 0.0
+    Mirrors both runtime views the core consumes: the ``trace_at`` /
+    ``helper_busy_until`` methods used by the reference interpreter and
+    the ``code_cache._patch_map`` / ``helper.busy_until`` attributes the
+    decoded fast path binds at compile time.
+    """
 
-    def __init__(self, trace):
+    overhead_only = False
+
+    def __init__(self, trace, busy_until=0.0):
         self.trace = trace
+        self.helper = _FakeHelper(busy_until)
+        self.code_cache = _FakeCodeCache(
+            {trace.head_pc: trace} if trace is not None else {}
+        )
         self.loads = []
         self.executions = []
         self.branches = []
+
+    @property
+    def helper_busy_until(self):
+        return self.helper.busy_until
 
     def trace_at(self, pc):
         if self.trace is not None and pc == self.trace.head_pc:
@@ -156,13 +180,11 @@ class TestTraceExecution:
         program = loop_program(iters=2_000)
         config = MachineConfig()
 
-        class BusyRuntime(FakeRuntime):
-            helper_busy_until = float("inf")
-
         idle_core, _ = run_with_trace(program, None, budget=8_000)
         busy = SMTCore(
             loop_program(iters=2_000), DataMemory(),
-            MemoryHierarchy(config), config, BusyRuntime(None),
+            MemoryHierarchy(config), config,
+            FakeRuntime(None, busy_until=float("inf")),
         )
         busy.run(8_000)
         assert busy.cycles > idle_core.cycles

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace regression fixtures in tests/data/golden/.
+
+Each fixture pins the full ``SimulationResult.to_dict()`` payload of one
+small-budget (workload, policy) cell — cycles, IPC, miss counts, repair
+counters, windowed samples, everything — plus a sha256 of its canonical
+JSON.  ``tests/test_golden_traces.py`` recomputes every cell on every CI
+run and diffs the payloads, so *any* silent timing drift in the
+interpreter, the memory hierarchy, or the Trident runtime fails with a
+readable field-level diff instead of slipping into the figures.
+
+Run after an intentional timing change::
+
+    PYTHONPATH=src python tools/update_golden.py
+
+and commit the rewritten fixtures together with the change that
+justifies them.  The budgets are deliberately tiny (the point is drift
+detection, not realism); the grid covers every registered workload so
+each workload's access pattern — strided, pointer-chasing, phased —
+exercises its own corner of the timing model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).parent.parent
+GOLDEN_DIR = ROOT / "tests" / "data" / "golden"
+
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.config import PrefetchPolicy  # noqa: E402
+from repro.harness.runner import run_simulation  # noqa: E402
+from repro.workloads.registry import BENCHMARK_NAMES  # noqa: E402
+
+#: The fixture grid.  Policies chosen to pin both the bare timing model
+#: (HW_ONLY: no runtime, no traces) and the full self-repair loop
+#: (SELF_REPAIRING: traces, DLT, repairs, helper thread).
+POLICIES = (PrefetchPolicy.HW_ONLY, PrefetchPolicy.SELF_REPAIRING)
+MAX_INSTRUCTIONS = 4_000
+WARMUP_INSTRUCTIONS = 1_000
+SAMPLE_INTERVAL = 1_000
+SEED = 1
+
+
+def canonical(payload: dict) -> str:
+    """The byte-exact form the equivalence suite compares (no sort_keys:
+    dict ordering is part of the result contract)."""
+    return json.dumps(payload)
+
+
+def generate_cell(workload: str, policy: PrefetchPolicy) -> dict:
+    result = run_simulation(
+        workload,
+        policy=policy,
+        max_instructions=MAX_INSTRUCTIONS,
+        warmup_instructions=WARMUP_INSTRUCTIONS,
+        seed=SEED,
+        sample_interval=SAMPLE_INTERVAL,
+    )
+    payload = result.to_dict()
+    return {
+        "spec": {
+            "workload": workload,
+            "policy": policy.value,
+            "max_instructions": MAX_INSTRUCTIONS,
+            "warmup_instructions": WARMUP_INSTRUCTIONS,
+            "seed": SEED,
+            "sample_interval": SAMPLE_INTERVAL,
+        },
+        "sha256": hashlib.sha256(canonical(payload).encode()).hexdigest(),
+        "result": payload,
+    }
+
+
+def fixture_path(workload: str, policy: PrefetchPolicy) -> pathlib.Path:
+    return GOLDEN_DIR / f"{workload}__{policy.value}.json"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for workload in BENCHMARK_NAMES:
+        for policy in POLICIES:
+            fixture = generate_cell(workload, policy)
+            path = fixture_path(workload, policy)
+            path.write_text(json.dumps(fixture, indent=1) + "\n")
+            print(f"wrote {path.relative_to(ROOT)}  "
+                  f"sha256={fixture['sha256'][:12]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
