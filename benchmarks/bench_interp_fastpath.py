@@ -11,6 +11,7 @@ correctness one.
 import json
 import time
 
+from bench_output import write_bench_record
 from conftest import shapes_asserted
 
 from repro.config import PrefetchPolicy
@@ -81,6 +82,16 @@ def test_interp_fastpath_speedup(benchmark, report):
         run_fastpath_bench, iterations=1, rounds=1
     )
     report("interp_fastpath", render(rows))
+    wall_times = {}
+    for workload, policy, slow_s, fast_s, _speedup in rows:
+        wall_times[f"{workload}/{policy}/slow"] = slow_s
+        wall_times[f"{workload}/{policy}/fast"] = fast_s
+    write_bench_record(
+        "interp_fastpath",
+        wall_times_s=wall_times,
+        speedup=max(r[4] for r in rows),
+        extra={"gate_min_speedup": MIN_SPEEDUP},
+    )
     if not shapes_asserted():
         return  # tiny smoke budgets: ratios are all noise
     best = max(r[4] for r in rows)

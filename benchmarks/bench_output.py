@@ -1,0 +1,72 @@
+"""Machine-readable bench records.
+
+Each perf bench renders a human table into ``benchmarks/results/<name>.txt``
+(via the ``report`` fixture) and, through :func:`write_bench_record`, a
+JSON companion ``benchmarks/results/BENCH_<name>.json`` with the raw
+wall-time and speedup numbers.  The JSON is what CI artifacts and
+longitudinal tooling consume: stable keys, no layout to parse.
+
+Record shape::
+
+    {
+      "bench": "interp_fastpath",
+      "budget": {"instructions": 120000, "warmup": 200000},
+      "host": {"python": "3.11.x", "platform": "Linux-..."},
+      "wall_times_s": {"<label>": seconds, ...},
+      "speedup": <headline ratio, when the bench has one>,
+      ... bench-specific extras ...
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+from typing import Dict, Optional
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_bench_record(
+    name: str,
+    *,
+    wall_times_s: Dict[str, float],
+    speedup: Optional[float] = None,
+    extra: Optional[Dict] = None,
+) -> pathlib.Path:
+    """Write ``results/BENCH_<name>.json``; returns the path written.
+
+    ``wall_times_s`` maps a bench-chosen label (a cell, a variant) to
+    seconds.  ``speedup`` is the bench's headline ratio — the number its
+    gate asserts on.  ``extra`` is merged in at the top level for
+    bench-specific fields (per-cell tables, budgets swept, ...).
+    """
+    from repro.harness.experiments import bench_instructions, bench_warmup
+
+    record: Dict = {
+        "bench": name,
+        "budget": {
+            "instructions": bench_instructions(),
+            "warmup": bench_warmup(),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "wall_times_s": {
+            label: round(seconds, 4)
+            for label, seconds in wall_times_s.items()
+        },
+    }
+    if speedup is not None:
+        record["speedup"] = round(speedup, 4)
+    if extra:
+        record.update(extra)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

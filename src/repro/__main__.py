@@ -43,6 +43,7 @@ _FIGURES = {
     "9": experiments.fig9_sw_vs_hw,
     "cache": experiments.cache_equivalent_area,
     "resilience": experiments.resilience,
+    "scaling": experiments.scaling_curve,
 }
 
 
@@ -82,12 +83,37 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
             "distinct cache entries)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "root of the snapshot store used to resume longer budgets "
+            "from shorter ones (default: alongside the result cache; "
+            "with --no-cache, checkpoints are off unless this is given)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "also capture a mid-run snapshot every N committed "
+            "instructions (run subcommand; end-of-run snapshots are "
+            "always captured when a checkpoint store is active)"
+        ),
+    )
 
 
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     kwargs = {"workers": args.jobs, "refresh": args.refresh}
     if args.no_cache:
         kwargs["cache"] = None
+    if args.checkpoint_dir:
+        from .checkpoint import CheckpointStore
+
+        kwargs["checkpoints"] = CheckpointStore(args.checkpoint_dir)
     return ExperimentEngine(**kwargs)
 
 
@@ -156,6 +182,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "watchdog: abort with SimulationStallError past this many "
             "simulated cycles"
+        ),
+    )
+    run.add_argument(
+        "--resume-from",
+        metavar="SNAPSHOT.ckpt",
+        default=None,
+        help=(
+            "restore this checkpoint file and continue it to "
+            "--instructions, bypassing the engine and cache (workload/"
+            "policy/warmup come from the snapshot; the positional "
+            "workload must match the snapshot's)"
         ),
     )
     run.add_argument(
@@ -265,6 +302,33 @@ def _build_parser() -> argparse.ArgumentParser:
     claims.add_argument("--instructions", type=int, default=None)
     claims.add_argument("--warmup", type=int, default=None)
     _add_engine_args(claims)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or prune the result/checkpoint cache",
+    )
+    cache.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="cache root (default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats",
+        help="entry counts and byte totals per cache section",
+    )
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="delete oldest entries until the cache fits a byte budget",
+    )
+    cache_prune.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        metavar="BYTES",
+        help="target total size; oldest result/checkpoint files go first",
+    )
     return parser
 
 
@@ -279,7 +343,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.inject:
         fault_plan = FaultPlan.load(args.inject)
-    if args.trace_out or args.metrics_out or args.sample_interval:
+    if args.resume_from:
+        incompatible = (
+            args.inject
+            or args.trace_out
+            or args.metrics_out
+            or args.sample_interval
+        )
+        if incompatible:
+            print(
+                "error: --resume-from restores a complete captured run "
+                "and cannot be combined with --inject/--trace-out/"
+                "--metrics-out/--sample-interval",
+                file=sys.stderr,
+            )
+            return 2
+        from .checkpoint import Snapshot, restore
+
+        try:
+            with open(args.resume_from, "rb") as fh:
+                snapshot = Snapshot.from_bytes(fh.read())
+        except OSError as exc:
+            print(f"error: cannot read snapshot: {exc}", file=sys.stderr)
+            return 2
+        sim = restore(snapshot)
+        if sim.workload.name != args.workload:
+            print(
+                f"error: snapshot holds workload "
+                f"{sim.workload.name!r}, not {args.workload!r}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"resumed from {args.resume_from} at "
+            f"{snapshot.committed} committed instructions",
+            file=sys.stderr,
+        )
+        result = sim.resume(args.instructions)
+    elif args.trace_out or args.metrics_out or args.sample_interval:
         # Trace/metrics export needs the live observer object, which a
         # cached replay or pool worker cannot provide: run in-process,
         # bypassing the engine (identical results either way).
@@ -309,12 +410,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_cycles=args.max_cycles,
             wall_time_limit=args.wall_time_limit,
             fast=args.fast,
+            checkpoint_every=args.checkpoint_every,
         )
         outcome = engine.run([job], isolate=False)[0]
         result = outcome.result
         if outcome.cached:
             print(
                 "result replayed from cache (--refresh to re-simulate)",
+                file=sys.stderr,
+            )
+        elif outcome.resumed_from is not None:
+            print(
+                f"resumed from a checkpoint at {outcome.resumed_from} "
+                "committed instructions",
                 file=sys.stderr,
             )
     if args.json:
@@ -531,6 +639,37 @@ def _cmd_claims(args: argparse.Namespace) -> int:
     return 0 if all(v.ok for v in verdicts) else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .checkpoint import prune, scan_usage
+    from .harness.cache import default_cache_dir
+
+    root = pathlib.Path(args.dir) if args.dir else default_cache_dir()
+    if args.cache_command == "prune":
+        deleted, freed = prune(root, args.max_bytes)
+        print(
+            f"pruned {deleted} files ({freed} bytes) from {root}"
+        )
+    usage = scan_usage(root)
+    rows = {
+        f"{section} ({counts['entries']} entries)": f"{counts['bytes']} bytes"
+        for section, counts in usage.items()
+    }
+    rows["total"] = (
+        f"{sum(c['bytes'] for c in usage.values())} bytes "
+        f"({sum(c['entries'] for c in usage.values())} entries)"
+    )
+    print(render_mapping(f"cache usage: {root}", rows))
+    print(
+        "hit/miss/resume counters are per-invocation: see the "
+        "'engine: run=... cached=... resumed=...' summary each "
+        "figure/claims command prints to stderr",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     configure_logging(level=args.log_level, quiet=args.quiet)
@@ -547,6 +686,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "claims":
             return _cmd_claims(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         return _cmd_figure(args)
     except ReproError as exc:
         # Structured errors are user errors or stalled runs, not bugs:

@@ -1,0 +1,358 @@
+"""Versioned, deterministic snapshots of a whole :class:`Simulation`.
+
+Every run here is bit-for-bit deterministic and ``SMTCore.run`` is
+re-entrant: chunked calls (``drain=False``) leave state identical to one
+big call.  A snapshot therefore *is* the run's future — restoring one and
+continuing to budget B2 is byte-identical to a cold run at B2.  That
+equivalence only holds if two things are true, and this module enforces
+both:
+
+* **Capture happens at quiescent points only.**  Pending fault reverts
+  hold closures that cannot be pickled; :func:`capture` raises
+  :class:`CheckpointError` while a fault window is open and callers
+  simply retry at a later boundary.  (In-flight helper jobs and queued
+  optimization events are *not* blockers: their completion actions are
+  picklable objects over the simulated graph, so a busy helper rides
+  along inside the snapshot.)
+* **The serialized form is canonical.**  The payload is a pickle whose
+  bytes depend only on *values*, never on object identity accidents:
+  every ``set``/``frozenset`` is reduced through sorted element lists
+  (a restored set's iteration order differs from the original's
+  insertion order), and strings are never memoized — CPython interns
+  attribute names and literals, so equal strings are one shared object
+  in a freshly built graph but many distinct objects in an unpickled
+  one, and identity-keyed memoization would encode that difference into
+  the bytes.  (The simulation itself never iterates its persisted sets
+  in a timing-relevant order; the property tests hold capture
+  idempotence to byte equality.)
+
+Volatile derived state is excluded by ``__getstate__`` hooks on its
+owners: the fast interpreter's compiled handler closures (``SMTCore``,
+``HotTrace._fast_cache``) are rebuilt on demand, and the watchdog's
+wall-clock deadline is re-armed on the next ``run`` call.
+
+The on-disk container is a small framed format::
+
+    RPCK | uint32 header length | header JSON | zlib-compressed pickle
+
+The header carries the format version, the code-version stamp of
+:func:`repro.harness.cache.code_version` (any source change invalidates
+every prior snapshot), and the progress coordinates (committed
+instructions, cycles) used for prefix lookup.  Anything that fails to
+parse — truncation, garbage, stale stamps — raises
+:class:`CheckpointError`, which every consumer converts to "run cold".
+"""
+
+from __future__ import annotations
+
+import array
+import io
+import json
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import CheckpointError
+from ..harness.cache import code_version
+
+#: Bumped whenever the frame layout or the pickled object graph changes
+#: incompatibly; part of the header, checked on load.
+FORMAT_VERSION = 1
+
+#: Frame magic ("RePro ChecKpoint").
+MAGIC = b"RPCK"
+
+_HEADER_LEN = struct.Struct(">I")
+
+#: zlib level 1: snapshots are dominated by workload data arrays that
+#: compress well at any level, and capture sits on the measured path of
+#: every checkpointed run — speed wins over the last few percent of size.
+_ZLIB_LEVEL = 1
+
+
+def _sorted_elements(values):
+    """Elements of a set in a deterministic order.
+
+    Persisted simulator sets hold homogeneous ints (load PCs); ``repr``
+    is the total-order fallback for anything unorderable that may appear
+    in test doubles.
+    """
+    try:
+        return sorted(values)
+    except TypeError:
+        return sorted(values, key=repr)
+
+
+#: Lists shorter than this go through the generic pickler; longer
+#: homogeneous numeric lists (workload memory images, data arrays) take
+#: the packed ``array`` fast path, which dominates payload size.
+_PACK_MIN = 256
+
+
+def _restore_int_list(data: bytes) -> list:
+    return list(array.array("q", data))
+
+
+def _restore_float_list(data: bytes) -> list:
+    return list(array.array("d", data))
+
+
+def _restore_int_dict(keys: bytes, values: bytes) -> dict:
+    # zip preserves the packed (insertion) order, so the restored dict
+    # iterates identically to the captured one.
+    return dict(zip(array.array("q", keys), array.array("q", values)))
+
+
+def _restore_int_float_dict(keys: bytes, values: bytes) -> dict:
+    return dict(zip(array.array("q", keys), array.array("d", values)))
+
+
+class _CanonicalPickler(pickle._Pickler):
+    """Pickler producing identical bytes for equal object graphs.
+
+    Built on the pure-Python pickler because canonicalisation needs two
+    hooks the C pickler does not expose:
+
+    * ``memoize`` is skipped for ``str``.  The memo is keyed on object
+      identity, and equal strings do not have stable identity across a
+      pickle round trip (attribute names and literals are interned in a
+      live process; unpickled strings are not).  Unmemoized strings are
+      re-emitted per occurrence — a few percent of payload that zlib
+      reclaims — and the bytes become pure functions of value.
+    * ``set``/``frozenset`` serialise as sorted element lists; their
+      native opcodes (``ADDITEMS``/``FROZENSET``) write insertion order,
+      which differs between an original and a restored set.
+
+    Dict ordering is already deterministic (simulation dicts are built in
+    deterministic insertion order, and unpickling preserves it).  The
+    pickle memo keeps every non-string shared reference shared — a
+    PrefetchRecord aliased across several record-map keys stays one
+    object after restore.
+
+    The pure-Python walk would be slow on the multi-megabyte workload
+    arrays, so exact-type homogeneous int/float lists of ``_PACK_MIN``
+    or more elements pack through :mod:`array` at C speed (host-endian:
+    snapshots are same-machine artifacts, keyed by a local code-version
+    stamp, never shipped across architectures).
+    """
+
+    dispatch = pickle._Pickler.dispatch.copy()
+
+    def memoize(self, obj):
+        if type(obj) is str:
+            return
+        super().memoize(obj)
+
+    def save_set(self, obj):
+        self.save_reduce(set, (_sorted_elements(obj),), obj=obj)
+
+    dispatch[set] = save_set
+
+    def save_frozenset(self, obj):
+        self.save_reduce(frozenset, (_sorted_elements(obj),), obj=obj)
+
+    dispatch[frozenset] = save_frozenset
+
+    def save_list(self, obj):
+        if len(obj) >= _PACK_MIN:
+            kinds = set(map(type, obj))
+            if kinds == {int}:
+                try:
+                    packed = array.array("q", obj)
+                except OverflowError:
+                    pass  # arbitrary-precision outlier: generic path
+                else:
+                    self.save_reduce(
+                        _restore_int_list, (packed.tobytes(),), obj=obj
+                    )
+                    return
+            elif kinds == {float}:
+                packed = array.array("d", obj)
+                self.save_reduce(
+                    _restore_float_list, (packed.tobytes(),), obj=obj
+                )
+                return
+        pickle._Pickler.save_list(self, obj)
+
+    dispatch[list] = save_list
+
+    def save_dict(self, obj):
+        # The dominant graph component is main memory: a plain dict of
+        # int word address -> int/float word value, up to ~1M entries.
+        if len(obj) >= _PACK_MIN and set(map(type, obj.keys())) == {int}:
+            value_kinds = set(map(type, obj.values()))
+            try:
+                if value_kinds == {int}:
+                    self.save_reduce(
+                        _restore_int_dict,
+                        (
+                            array.array("q", obj.keys()).tobytes(),
+                            array.array("q", obj.values()).tobytes(),
+                        ),
+                        obj=obj,
+                    )
+                    return
+                if value_kinds == {float}:
+                    self.save_reduce(
+                        _restore_int_float_dict,
+                        (
+                            array.array("q", obj.keys()).tobytes(),
+                            array.array("d", obj.values()).tobytes(),
+                        ),
+                        obj=obj,
+                    )
+                    return
+            except OverflowError:
+                pass  # arbitrary-precision outlier: generic path
+        pickle._Pickler.save_dict(self, obj)
+
+    dispatch[dict] = save_dict
+
+
+def canonical_dumps(obj) -> bytes:
+    """Pickle ``obj`` with canonical (sorted) set serialisation."""
+    buffer = io.BytesIO()
+    _CanonicalPickler(buffer, protocol=4).dump(obj)
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Quiescence.
+# ---------------------------------------------------------------------------
+def is_quiescent(sim) -> bool:
+    """True when ``sim`` holds no in-flight closures.
+
+    Helper jobs and queued optimization events are picklable objects
+    (their completion actions are dataclasses over the simulated object
+    graph, see ``repro.core.optimizer`` / ``repro.trident.runtime``), so
+    a busy helper does not block capture.  The one remaining owner of
+    genuine closures is the fault injector's scheduled revert list —
+    present only in fault-plan runs, and pending only inside an active
+    fault window.
+    """
+    injector = sim.injector
+    if injector is not None and injector._reverts:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The snapshot container.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Snapshot:
+    """One captured simulator state: parsed header + compressed payload."""
+
+    header: Dict
+    payload: bytes
+
+    @property
+    def committed(self) -> int:
+        return self.header["committed"]
+
+    @property
+    def cycles(self) -> float:
+        return self.header["cycles"]
+
+    def to_bytes(self) -> bytes:
+        header = json.dumps(
+            self.header, sort_keys=True, separators=(",", ":")
+        ).encode()
+        return b"".join(
+            (MAGIC, _HEADER_LEN.pack(len(header)), header, self.payload)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Snapshot":
+        """Parse a framed snapshot; raises :class:`CheckpointError` on
+        any truncation, corruption, or version/stamp mismatch."""
+        prefix = len(MAGIC) + _HEADER_LEN.size
+        if len(data) < prefix or not data.startswith(MAGIC):
+            raise CheckpointError("not a checkpoint: bad magic")
+        (header_len,) = _HEADER_LEN.unpack(
+            data[len(MAGIC):prefix]
+        )
+        if len(data) < prefix + header_len:
+            raise CheckpointError("truncated checkpoint header")
+        try:
+            header = json.loads(data[prefix:prefix + header_len])
+        except ValueError as exc:
+            raise CheckpointError(f"unparsable checkpoint header: {exc}")
+        if not isinstance(header, dict):
+            raise CheckpointError("checkpoint header is not an object")
+        if header.get("format") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint format {header.get('format')!r} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        payload = data[prefix + header_len:]
+        declared = header.get("payload_bytes")
+        if declared is not None and declared != len(payload):
+            raise CheckpointError(
+                f"truncated checkpoint payload: {len(payload)} bytes, "
+                f"header declares {declared}"
+            )
+        return cls(header=header, payload=payload)
+
+
+def capture(sim) -> Snapshot:
+    """Snapshot the complete simulator state at a quiescent point.
+
+    The snapshot is taken *before* the end-of-run drain and
+    ``injector.finish`` — i.e. exactly the state a longer cold run would
+    have when passing this committed count — so a checkpoint captured at
+    a run's own budget can seed any larger budget.
+    """
+    if not is_quiescent(sim):
+        raise CheckpointError(
+            "cannot capture: fault revert in flight "
+            "(retry at the next quiescent boundary)"
+        )
+    committed, cycles = sim.core.snapshot()
+    payload = zlib.compress(canonical_dumps(sim), _ZLIB_LEVEL)
+    header = {
+        "format": FORMAT_VERSION,
+        "code_version": code_version(),
+        "workload": sim.workload.name,
+        "policy": sim.config.policy.value,
+        "warmup_instructions": sim.config.warmup_instructions,
+        "committed": committed,
+        "cycles": cycles,
+        "payload_bytes": len(payload),
+    }
+    return Snapshot(header=header, payload=payload)
+
+
+def restore(snapshot: Snapshot):
+    """Rebuild a runnable :class:`Simulation` from ``snapshot``.
+
+    Validates the code-version stamp (a snapshot from different sources
+    is not just stale, it would *diverge*), unpickles the object graph,
+    and recompiles the one piece of stripped derived state that cannot
+    wait for lazy rebuild: the fast interpreter's handler list for a
+    trace that was mid-execution at capture time.
+    """
+    stamp = snapshot.header.get("code_version")
+    if stamp != code_version():
+        raise CheckpointError(
+            "checkpoint was captured by different simulator sources "
+            f"(stamp {str(stamp)[:12]}..., current "
+            f"{code_version()[:12]}...)"
+        )
+    try:
+        sim = pickle.loads(zlib.decompress(snapshot.payload))
+    except Exception as exc:
+        raise CheckpointError(f"corrupt checkpoint payload: {exc}")
+    core = getattr(sim, "core", None)
+    if core is None:
+        raise CheckpointError("checkpoint payload is not a Simulation")
+    if core._trace is not None and core.fast:
+        from ..cpu.fastpath import compile_trace
+
+        trace = core._trace
+        handlers = compile_trace(core, trace)
+        trace._fast_cache = (trace.body, len(trace.body), handlers)
+        core._trace_handlers = handlers
+    return sim

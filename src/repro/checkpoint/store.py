@@ -1,0 +1,243 @@
+"""Prefix-keyed on-disk store of simulator checkpoints.
+
+The result cache (:mod:`repro.harness.cache`) keys on the *full* job
+spec: same budget or nothing.  The checkpoint store keys on the job's
+**prefix spec** — the full canonical spec with ``max_instructions``
+removed — because a deterministic simulation's state at N committed
+instructions is identical for every budget ≥ N.  A sweep that asks for
+ascending budgets B1 < B2 < B3 therefore pays full price once: each run
+stores its end-of-run snapshot under the shared prefix key, and the next
+run resumes from the largest stored checkpoint not past its own target.
+
+Layout mirrors the result cache, under the same root::
+
+    <root>/checkpoints/<prefix[:2]>/<prefix>/<committed>.ckpt
+
+One file per captured committed-instruction count, named so lookup is a
+directory listing plus an integer compare — no index file to corrupt.
+Writes are atomic (same-directory temp + ``os.replace``); any file that
+fails to parse or restore is treated as absent.  The code-version stamp
+is hashed into the prefix key *and* checked by
+:func:`~repro.checkpoint.snapshot.restore`, so a source change orphans
+old snapshots rather than resuming from a diverged world.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CheckpointError
+from ..harness.cache import (
+    SCHEMA_VERSION,
+    code_version,
+    default_cache_dir,
+    stable_hash,
+)
+from ..logutil import get_logger
+from .snapshot import Snapshot, capture, is_quiescent
+
+_log = get_logger("checkpoint")
+
+_SUFFIX = ".ckpt"
+
+_tmp_lock = threading.Lock()
+_tmp_counter = 0
+
+
+def _tmp_suffix() -> str:
+    global _tmp_counter
+    with _tmp_lock:
+        _tmp_counter += 1
+        counter = _tmp_counter
+    return f".tmp.{os.getpid()}.{threading.get_ident()}.{counter}"
+
+
+def prefix_spec(spec: Dict) -> Dict:
+    """A job spec reduced to its budget-independent prefix.
+
+    Everything that shapes execution from cycle 0 stays (workload,
+    machine/Trident config, warmup, seed, fault plan, sampling interval,
+    interpreter choice); only the stopping point goes.
+    """
+    reduced = dict(spec)
+    config = dict(reduced.get("config") or {})
+    config.pop("max_instructions", None)
+    reduced["config"] = config
+    return reduced
+
+
+class CheckpointStore:
+    """Content-addressed checkpoint files under the cache root.
+
+    Like the result cache, every I/O failure degrades to "no
+    checkpoint": an unwritable root skips saves, an unreadable or stale
+    snapshot is a miss, and the simulation runs cold.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths.
+    # ------------------------------------------------------------------
+    def prefix_key(self, spec: Dict) -> str:
+        """The content address of a job's budget-independent prefix."""
+        return stable_hash(
+            {
+                "schema": SCHEMA_VERSION,
+                "code_version": code_version(),
+                "prefix": prefix_spec(spec),
+            }
+        )
+
+    def dir_for(self, prefix: str) -> pathlib.Path:
+        return self.root / "checkpoints" / prefix[:2] / prefix
+
+    def path_for(self, prefix: str, committed: int) -> pathlib.Path:
+        return self.dir_for(prefix) / f"{committed:016d}{_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # Lookup / store.
+    # ------------------------------------------------------------------
+    def committed_counts(self, prefix: str) -> List[int]:
+        """Committed-instruction counts with a stored snapshot, sorted."""
+        try:
+            names = os.listdir(self.dir_for(prefix))
+        except OSError:
+            return []
+        counts = []
+        for name in names:
+            if not name.endswith(_SUFFIX):
+                continue
+            try:
+                counts.append(int(name[: -len(_SUFFIX)]))
+            except ValueError:
+                continue
+        counts.sort()
+        return counts
+
+    def best(self, prefix: str, max_committed: int) -> Optional[Snapshot]:
+        """The largest usable snapshot at ``committed <= max_committed``.
+
+        Candidates are tried largest-first; one that fails to parse is
+        skipped (and logged), not fatal — determinism means any stored
+        point at or before the target is a valid resume point.
+        """
+        for committed in reversed(self.committed_counts(prefix)):
+            if committed > max_committed:
+                continue
+            path = self.path_for(prefix, committed)
+            try:
+                snapshot = Snapshot.from_bytes(path.read_bytes())
+            except (OSError, CheckpointError) as exc:
+                _log.debug("checkpoint %s unusable: %s", path, exc)
+                continue
+            self.hits += 1
+            return snapshot
+        self.misses += 1
+        return None
+
+    def put(self, prefix: str, snapshot: Snapshot) -> bool:
+        """Atomically store one snapshot; returns False when skipped.
+
+        An existing file for the same (prefix, committed) is left alone:
+        determinism makes it byte-identical to what we would write.
+        """
+        path = self.path_for(prefix, snapshot.committed)
+        if path.exists():
+            return False
+        tmp = path.with_name(path.name + _tmp_suffix())
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(snapshot.to_bytes())
+            os.replace(tmp, path)
+        except OSError as exc:
+            _log.debug("checkpoint store failed for %s: %s", path, exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True
+
+    def save(self, prefix: str, sim) -> bool:
+        """Capture-and-store if ``sim`` is quiescent; False otherwise.
+
+        The convenience used as a run's checkpoint sink: skips busy
+        boundaries and never lets a capture or I/O failure break the
+        simulation that is being checkpointed.
+        """
+        if not is_quiescent(sim):
+            return False
+        if self.path_for(prefix, sim.core.stats.committed).exists():
+            # A previous identical run already stored this exact point;
+            # the due capture is satisfied without re-pickling.
+            return True
+        try:
+            return self.put(prefix, capture(sim))
+        except CheckpointError as exc:
+            _log.debug("checkpoint capture skipped: %s", exc)
+            return False
+
+
+# ---------------------------------------------------------------------------
+# Maintenance shared with the result cache (the `repro cache` subcommand).
+# ---------------------------------------------------------------------------
+def scan_usage(root: pathlib.Path) -> Dict[str, Dict[str, int]]:
+    """Entry counts and byte totals for each section of a cache root."""
+    usage: Dict[str, Dict[str, int]] = {}
+    for section, suffix in (("results", ".json"), ("checkpoints", _SUFFIX)):
+        entries = 0
+        size = 0
+        base = root / section
+        if base.is_dir():
+            for path in base.rglob(f"*{suffix}"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        usage[section] = {"entries": entries, "bytes": size}
+    return usage
+
+
+def prune(root: pathlib.Path, max_bytes: int) -> Tuple[int, int]:
+    """Delete oldest entries until the root fits ``max_bytes``.
+
+    Covers both sections (result JSON and checkpoint files), oldest
+    modification time first — checkpoints from a superseded sweep age
+    out exactly like stale result entries.  Returns
+    ``(files_deleted, bytes_freed)``.
+    """
+    candidates = []
+    for section, suffix in (("results", ".json"), ("checkpoints", _SUFFIX)):
+        base = root / section
+        if not base.is_dir():
+            continue
+        for path in base.rglob(f"*{suffix}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            candidates.append((stat.st_mtime, stat.st_size, path))
+    total = sum(size for _mtime, size, _path in candidates)
+    candidates.sort()
+    deleted = 0
+    freed = 0
+    for _mtime, size, path in candidates:
+        if total - freed <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        deleted += 1
+        freed += size
+    return deleted, freed

@@ -330,6 +330,14 @@ class SimulationConfig:
     #: config (and thus the result-cache key) so cached fast and slow
     #: runs never alias.
     fast: bool = True
+    #: Capture a resumable snapshot every N committed instructions (see
+    #: repro.checkpoint) in addition to the end-of-run capture a
+    #: checkpoint sink always attempts.  None captures only at the end.
+    #: Cadence can never change simulated state (captures happen at
+    #: chunk boundaries, which are proven state-neutral), so this field
+    #: is **excluded** from the job spec the result cache hashes — runs
+    #: differing only in cadence share results and checkpoints.
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         policy = self.policy
@@ -371,6 +379,14 @@ class SimulationConfig:
             raise ConfigError(f"seed must be an integer, got {self.seed!r}")
         if not isinstance(self.fast, bool):
             raise ConfigError(f"fast must be a bool, got {self.fast!r}")
+        if self.checkpoint_every is not None and (
+            not isinstance(self.checkpoint_every, int)
+            or self.checkpoint_every <= 0
+        ):
+            raise ConfigError(
+                "checkpoint_every must be a positive integer or None, "
+                f"got {self.checkpoint_every!r}"
+            )
         for name in ("max_cycles", "wall_time_limit"):
             value = getattr(self, name)
             if value is None:

@@ -64,6 +64,111 @@ class OptimizationJob:
     kind: str
 
 
+# Helper-job completion actions are *objects*, not closures: an in-flight
+# job rides inside simulator snapshots (repro.checkpoint), and pickle can
+# serialise an instance-plus-references graph but not a closure.  Every
+# field below is part of the simulated object graph already, so the
+# snapshot's memo keeps the shared identities (trace, records, optimizer)
+# intact across a restore.
+
+
+@dataclass
+class _MatureApply:
+    """Completion action: mark loads mature so they stop firing events."""
+
+    opt: "PrefetchOptimizer"
+    pcs: List[int]
+
+    def __call__(self) -> None:
+        dlt = self.opt.dlt
+        for pc in self.pcs:
+            dlt.set_mature(pc)
+        self.opt.stats.loads_matured += len(self.pcs)
+
+
+@dataclass
+class _RepairApply:
+    """Completion action: one repair pass over a trace's records."""
+
+    opt: "PrefetchOptimizer"
+    trace: HotTrace
+    to_repair: List[PrefetchRecord]
+
+    def __call__(self) -> None:
+        self.opt.stats.repair_jobs += 1
+        for rec in self.to_repair:
+            self.opt._repair_one(self.trace, rec)
+
+
+@dataclass
+class _InsertionApply:
+    """Completion action: link a regenerated trace with its prefetches."""
+
+    opt: "PrefetchOptimizer"
+    new_trace: HotTrace
+    stride_records: List[Tuple[SameObjectGroup, PrefetchRecord]]
+    pointer_loads: List[TraceLoad]
+    matured: List[int]
+    delinquent_pcs: Set[int]
+    records: Dict[int, PrefetchRecord]
+
+    def __call__(self) -> None:
+        opt = self.opt
+        stats = opt.stats
+        dlt = opt.dlt
+        new_trace = self.new_trace
+        stats.insertion_jobs += 1
+        stats.traces_regenerated += 1
+        stats.prefetches_inserted += sum(
+            len(rec.base_offsets)
+            for _g, rec in self.stride_records
+        )
+        stats.pointer_prefetches_inserted += len(self.pointer_loads)
+        stats.loads_targeted.update(self.records.keys())
+        stats.loads_matured += len(self.matured)
+        for pc in self.matured:
+            dlt.set_mature(pc)
+        for pc in self.delinquent_pcs:
+            if pc not in self.matured:
+                dlt.clear_window(pc)
+        # Initialise repair budgets from the trace's best pass.
+        opt._refresh_max_distance(new_trace)
+        previous = opt.code_cache.link(new_trace)
+        if previous is not None:
+            opt.watch_table.remove(previous.trace_id)
+        opt.watch_table.register(
+            new_trace.trace_id, new_trace.head_pc, len(new_trace.body)
+        )
+        obs = opt.obs
+        if obs is not None:
+            opt._m_insertions.inc()
+            for _group, rec in self.stride_records:
+                opt._h_distance.observe(rec.distance)
+                obs.emit(
+                    "insert",
+                    None,
+                    pc=rec.load_pcs[0],
+                    load_pcs=list(rec.load_pcs),
+                    distance=rec.distance,
+                    prefetch_kind="stride",
+                    trace_id=new_trace.trace_id,
+                )
+            for load in self.pointer_loads:
+                obs.emit(
+                    "insert",
+                    None,
+                    pc=load.orig_pc,
+                    load_pcs=[load.orig_pc],
+                    distance=None,
+                    prefetch_kind="pointer",
+                    trace_id=new_trace.trace_id,
+                )
+        # Non-adaptive policies never repair: a single shot per load.
+        if not opt.policy.adaptive_repair:
+            for pc in self.records:
+                dlt.set_mature(pc)
+
+
 class PrefetchOptimizer:
     """Implements prefetch insertion and self-repair over hot traces."""
 
@@ -275,64 +380,19 @@ class PrefetchOptimizer:
         work = (
             len(new_body) * self.trident.optimizer_cycles_per_instruction
         )
-        dlt = self.dlt
-        stats = self.stats
-        watch = self.watch_table
-        code_cache = self.code_cache
-
-        def apply() -> None:
-            stats.insertion_jobs += 1
-            stats.traces_regenerated += 1
-            stats.prefetches_inserted += sum(
-                len(rec.base_offsets)
-                for _g, rec in stride_records
-            )
-            stats.pointer_prefetches_inserted += len(pointer_loads)
-            stats.loads_targeted.update(records.keys())
-            stats.loads_matured += len(matured)
-            for pc in matured:
-                dlt.set_mature(pc)
-            for pc in delinquent_pcs:
-                if pc not in matured:
-                    dlt.clear_window(pc)
-            # Initialise repair budgets from the trace's best pass.
-            self._refresh_max_distance(new_trace)
-            previous = code_cache.link(new_trace)
-            if previous is not None:
-                watch.remove(previous.trace_id)
-            entry = watch.register(
-                new_trace.trace_id, new_trace.head_pc, len(new_trace.body)
-            )
-            obs = self.obs
-            if obs is not None:
-                self._m_insertions.inc()
-                for _group, rec in stride_records:
-                    self._h_distance.observe(rec.distance)
-                    obs.emit(
-                        "insert",
-                        None,
-                        pc=rec.load_pcs[0],
-                        load_pcs=list(rec.load_pcs),
-                        distance=rec.distance,
-                        prefetch_kind="stride",
-                        trace_id=new_trace.trace_id,
-                    )
-                for load in pointer_loads:
-                    obs.emit(
-                        "insert",
-                        None,
-                        pc=load.orig_pc,
-                        load_pcs=[load.orig_pc],
-                        distance=None,
-                        prefetch_kind="pointer",
-                        trace_id=new_trace.trace_id,
-                    )
-            # Non-adaptive policies never repair: a single shot per load.
-            if not self.policy.adaptive_repair:
-                for pc in records:
-                    dlt.set_mature(pc)
-
-        return OptimizationJob(apply=apply, work_cycles=work, kind="insert")
+        return OptimizationJob(
+            apply=_InsertionApply(
+                opt=self,
+                new_trace=new_trace,
+                stride_records=stride_records,
+                pointer_loads=pointer_loads,
+                matured=matured,
+                delinquent_pcs=delinquent_pcs,
+                records=records,
+            ),
+            work_cycles=work,
+            kind="insert",
+        )
 
     @staticmethod
     def _inherit_record(
@@ -429,16 +489,9 @@ class PrefetchOptimizer:
     def _make_repair_job(
         self, trace: HotTrace, load_pc: int, record: PrefetchRecord
     ) -> OptimizationJob:
-        stats = self.stats
         to_repair = self._delinquent_records(trace, load_pc)
-
-        def apply() -> None:
-            stats.repair_jobs += 1
-            for rec in to_repair:
-                self._repair_one(trace, rec)
-
         return OptimizationJob(
-            apply=apply,
+            apply=_RepairApply(opt=self, trace=trace, to_repair=to_repair),
             work_cycles=self.trident.repair_cycles * max(1, len(to_repair)),
             kind="repair",
         )
@@ -447,12 +500,8 @@ class PrefetchOptimizer:
     def _make_mature_job(
         self, pcs: List[int], cost: float
     ) -> OptimizationJob:
-        dlt = self.dlt
-        stats = self.stats
-
-        def apply() -> None:
-            for pc in pcs:
-                dlt.set_mature(pc)
-            stats.loads_matured += len(pcs)
-
-        return OptimizationJob(apply=apply, work_cycles=cost, kind="mature")
+        return OptimizationJob(
+            apply=_MatureApply(opt=self, pcs=pcs),
+            work_cycles=cost,
+            kind="mature",
+        )

@@ -150,6 +150,28 @@ class SMTCore:
         self._trace_handlers = None
 
     # ------------------------------------------------------------------
+    # Checkpointing (repro.checkpoint): the fast-path caches are closures
+    # over live component state and cannot (and need not) be pickled —
+    # they are pure derived state, rebuilt lazily by the next run call
+    # (and eagerly for a mid-trace core by checkpoint.restore, which
+    # needs the handler list before the next step).
+    _VOLATILE = (
+        "_fast_handlers",
+        "_fast_block_len",
+        "_fast_batches",
+        "_trace_handlers",
+    )
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for name in self._VOLATILE:
+            state[name] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     @property
     def cycles(self) -> float:
         """Total execution time so far (critical-path completion)."""

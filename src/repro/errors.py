@@ -24,6 +24,14 @@ class ConfigError(ReproError, ValueError):
     the same way."""
 
 
+class CheckpointError(ReproError, RuntimeError):
+    """A simulator snapshot could not be captured, parsed, or restored —
+    truncated or corrupt payload, a format/code-version mismatch, or a
+    capture attempted at a non-quiescent point (in-flight helper job,
+    queued optimization event, pending fault revert).  Never transient:
+    the store treats it as "no checkpoint" and runs cold instead."""
+
+
 class SimulationStallError(ReproError, RuntimeError):
     """The watchdog stopped a run that was no longer making progress —
     commit stall, cycle-budget blowout, or wall-time exhaustion.

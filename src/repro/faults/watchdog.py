@@ -47,6 +47,16 @@ class Watchdog:
         self._last_committed: Optional[int] = None
         self.trips = 0
 
+    def __getstate__(self):
+        """Checkpoint support (repro.checkpoint): the armed wall-time
+        deadline is host-clock state — meaningless in another process and
+        different between two captures of identical simulated state — so
+        snapshots carry it disarmed; the next ``run`` call re-arms a
+        fresh ``wall_time_limit`` budget for the resumed segment."""
+        state = dict(self.__dict__)
+        state["_deadline"] = None
+        return state
+
     def start(self) -> None:
         """Arm the wall-time deadline (idempotent: the first call wins, so
         warmup and measurement share one budget)."""

@@ -45,7 +45,7 @@ from ..config import (
     SimulationConfig,
     TridentConfig,
 )
-from ..errors import ReproError
+from ..errors import CheckpointError, ReproError
 from ..faults.plan import FaultPlan
 from ..logutil import get_logger
 from ..obs import MetricsRegistry, Observer
@@ -79,16 +79,30 @@ class SimJob:
     group: str = ""
 
     def spec(self) -> Dict:
-        """The canonical JSON-able description hashed into the cache key."""
+        """The canonical JSON-able description hashed into the cache key.
+
+        ``checkpoint_every`` is excluded: checkpoint cadence changes when
+        the run *pauses to look*, never what it computes (chunked
+        ``SMTCore.run`` calls are bit-identical to one call), so two jobs
+        differing only in cadence must share one cache entry.
+        """
+        config = _jsonify(dataclasses.asdict(self.config))
+        config.pop("checkpoint_every", None)
         return {
             "workload": self.workload,
-            "config": _jsonify(dataclasses.asdict(self.config)),
+            "config": config,
             "initial_distance_mode": self.initial_distance_mode,
             "fault_plan": (
                 None if self.fault_plan is None else self.fault_plan.to_dict()
             ),
             "sample_interval": self.sample_interval,
         }
+
+    def total_budget(self) -> int:
+        """Warmup + measured instructions (the resume-ordering key)."""
+        return (
+            self.config.warmup_instructions + self.config.max_instructions
+        )
 
 
 def _jsonify(value):
@@ -117,6 +131,7 @@ def make_job(
     wall_time_limit: Optional[float] = None,
     sample_interval: Optional[int] = None,
     fast: bool = True,
+    checkpoint_every: Optional[int] = None,
     group: str = "",
 ) -> SimJob:
     """Build a :class:`SimJob` with ``run_simulation``'s signature."""
@@ -131,6 +146,7 @@ def make_job(
         max_cycles=max_cycles,
         wall_time_limit=wall_time_limit,
         fast=fast,
+        checkpoint_every=checkpoint_every,
     )
     return SimJob(
         workload=workload,
@@ -150,6 +166,9 @@ class JobOutcome:
     error: Optional[Dict] = None
     cached: bool = False
     elapsed_s: float = 0.0
+    #: Committed-instruction count of the checkpoint this run resumed
+    #: from (None: ran cold or replayed from the result cache).
+    resumed_from: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -163,6 +182,9 @@ class EngineStats:
     jobs_run: int = 0
     jobs_cached: int = 0
     jobs_failed: int = 0
+    #: Jobs that resumed from a stored checkpoint instead of running
+    #: their whole prefix cold.
+    jobs_resumed: int = 0
     #: Sum of the original wall time of every cache hit.
     wall_time_saved_s: float = 0.0
     wall_time_spent_s: float = 0.0
@@ -170,31 +192,74 @@ class EngineStats:
     def summary(self) -> str:
         return (
             f"engine: run={self.jobs_run} cached={self.jobs_cached} "
-            f"failed={self.jobs_failed} "
+            f"resumed={self.jobs_resumed} failed={self.jobs_failed} "
             f"spent={self.wall_time_spent_s:.1f}s "
             f"saved={self.wall_time_saved_s:.1f}s"
         )
 
 
-def _execute_job(job: SimJob) -> Tuple[SimulationResult, float]:
-    """Run one job to completion (no isolation); returns (result, secs).
+def _execute_job(
+    job: SimJob,
+    ckpt_root: Optional[str] = None,
+    resume_ok: bool = True,
+) -> Tuple[SimulationResult, float, Optional[int]]:
+    """Run one job to completion (no isolation).
+
+    Returns ``(result, seconds, resumed_from)``.  With a checkpoint root,
+    the job first looks for the largest stored snapshot of its own prefix
+    at or before its budget and resumes from it — byte-identical to the
+    cold run by the chunked-execution invariant — and offers its own
+    snapshots back to the store as it runs.  Any checkpoint problem
+    (corrupt file, stale stamp) silently degrades to a cold run.
 
     This is the single simulation seam for both the in-process path and
     pool workers; the baseline-reuse regression test counts invocations
     through ``runner.Simulation``.
     """
+    from ..checkpoint import CheckpointStore, restore as restore_snapshot
+
     observer = None
     if job.sample_interval is not None:
         observer = Observer(sample_interval=job.sample_interval)
     started = time.perf_counter()
-    result = runner.Simulation(
-        job.workload,
-        job.config,
-        initial_distance_mode=job.initial_distance_mode,
-        fault_plan=job.fault_plan,
-        observer=observer,
-    ).run()
-    return result, time.perf_counter() - started
+    store: Optional[CheckpointStore] = None
+    prefix = None
+    if ckpt_root is not None:
+        store = CheckpointStore(ckpt_root)
+        prefix = store.prefix_key(job.spec())
+    sim = None
+    resumed_from: Optional[int] = None
+    if store is not None and resume_ok:
+        snapshot = store.best(prefix, job.total_budget())
+        if snapshot is not None:
+            try:
+                sim = restore_snapshot(snapshot)
+            except CheckpointError as exc:
+                _log.debug("checkpoint restore failed, running cold: %s", exc)
+            else:
+                resumed_from = snapshot.committed
+    if sim is None:
+        sim = runner.Simulation(
+            job.workload,
+            job.config,
+            initial_distance_mode=job.initial_distance_mode,
+            fault_plan=job.fault_plan,
+            observer=observer,
+        )
+        if store is not None:
+            sim.checkpoint_sink = lambda s: store.save(prefix, s)
+        result = sim.run()
+    else:
+        # The snapshot carries the observer (and its partial sample
+        # series) from the prefix run; only the sink and the cadence —
+        # normalised away at capture — need re-attaching.
+        sim.checkpoint_sink = lambda s: store.save(prefix, s)
+        if job.config.checkpoint_every is not None:
+            sim.config = sim.config.replace(
+                checkpoint_every=job.config.checkpoint_every
+            )
+        result = sim.resume(job.config.max_instructions)
+    return result, time.perf_counter() - started, resumed_from
 
 
 def _error_record(job: SimJob, exc: BaseException, retried: bool) -> Dict:
@@ -208,21 +273,47 @@ def _error_record(job: SimJob, exc: BaseException, retried: bool) -> Dict:
     return record
 
 
-def _worker(job: SimJob) -> JobOutcome:
+def _worker(
+    job: SimJob,
+    ckpt_root: Optional[str] = None,
+    resume_ok: bool = True,
+) -> JobOutcome:
     """Pool entry point: isolate failures into records (picklable)."""
     try:
-        result, elapsed = _execute_job(job)
-        return JobOutcome(result=result, elapsed_s=elapsed)
+        result, elapsed, resumed = _execute_job(job, ckpt_root, resume_ok)
+        return JobOutcome(
+            result=result, elapsed_s=elapsed, resumed_from=resumed
+        )
     except Exception as exc:
         if getattr(exc, "transient", False):
             try:
-                result, elapsed = _execute_job(job)
-                return JobOutcome(result=result, elapsed_s=elapsed)
+                result, elapsed, resumed = _execute_job(
+                    job, ckpt_root, resume_ok
+                )
+                return JobOutcome(
+                    result=result, elapsed_s=elapsed, resumed_from=resumed
+                )
             except Exception as retry_exc:
                 return JobOutcome(
                     error=_error_record(job, retry_exc, retried=True)
                 )
         return JobOutcome(error=_error_record(job, exc, retried=False))
+
+
+def _worker_chain(
+    jobs: List[SimJob],
+    ckpt_root: Optional[str],
+    resume_ok: bool,
+) -> List[JobOutcome]:
+    """Run same-prefix jobs sequentially, ascending by budget.
+
+    The jobs share a checkpoint prefix, so each run's end snapshot seeds
+    the next one through the on-disk store: a multi-budget sweep pays
+    for its longest member plus deltas instead of the sum of budgets.
+    Submitted to the pool as one unit so the chain's data locality is
+    not lost to scheduling.
+    """
+    return [_worker(job, ckpt_root, resume_ok) for job in jobs]
 
 
 class ExperimentEngine:
@@ -240,6 +331,7 @@ class ExperimentEngine:
         cache: Union[ResultCache, None, object] = _DEFAULT_CACHE,
         refresh: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        checkpoints: Union["CheckpointStore", None, object] = _DEFAULT_CACHE,
     ) -> None:
         if not isinstance(workers, int) or workers < 1:
             raise ReproError(f"workers must be a positive int, got {workers!r}")
@@ -247,8 +339,22 @@ class ExperimentEngine:
         self.cache: Optional[ResultCache] = (
             ResultCache() if cache is _DEFAULT_CACHE else cache
         )
-        #: With refresh=True every job is re-simulated and re-stored.
+        #: With refresh=True every job is re-simulated and re-stored —
+        #: and resume is disabled (a refresh must exercise the full
+        #: prefix), though fresh snapshots are still captured.
         self.refresh = refresh
+        if checkpoints is _DEFAULT_CACHE:
+            # Default: checkpoint alongside the result cache; an engine
+            # explicitly running uncached also runs checkpoint-less.
+            from ..checkpoint import CheckpointStore
+
+            self.checkpoints: Optional[CheckpointStore] = (
+                CheckpointStore(self.cache.root)
+                if self.cache is not None
+                else None
+            )
+        else:
+            self.checkpoints = checkpoints
         self.stats = EngineStats()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
@@ -275,6 +381,11 @@ class ExperimentEngine:
                     outcomes[index] = outcome
                     continue
             pending.append(index)
+
+        # Ascending budgets so a sweep's short runs seed its long ones
+        # through the checkpoint store (outcomes still land at their
+        # submission index, so output order is unchanged).
+        pending.sort(key=lambda index: jobs[index].total_budget())
 
         if pending:
             if self.workers > 1 and len(pending) > 1:
@@ -317,11 +428,25 @@ class ExperimentEngine:
         self.stats.wall_time_saved_s += saved
         return JobOutcome(result=result, cached=True, elapsed_s=saved)
 
+    @property
+    def _ckpt_root(self) -> Optional[str]:
+        """The checkpoint root as a picklable worker argument."""
+        return (
+            str(self.checkpoints.root)
+            if self.checkpoints is not None
+            else None
+        )
+
     def _run_inprocess(self, job: SimJob, isolate: bool) -> JobOutcome:
+        resume_ok = not self.refresh
         if not isolate:
-            result, elapsed = _execute_job(job)
-            return JobOutcome(result=result, elapsed_s=elapsed)
-        return _worker(job)
+            result, elapsed, resumed = _execute_job(
+                job, self._ckpt_root, resume_ok
+            )
+            return JobOutcome(
+                result=result, elapsed_s=elapsed, resumed_from=resumed
+            )
+        return _worker(job, self._ckpt_root, resume_ok)
 
     def _run_pool(
         self,
@@ -329,22 +454,52 @@ class ExperimentEngine:
         pending: List[int],
         outcomes: List[Optional[JobOutcome]],
     ) -> None:
-        workers = min(self.workers, len(pending))
+        ckpt_root = self._ckpt_root
+        resume_ok = not self.refresh
+        # Same-prefix jobs become one sequential chain (ascending by
+        # budget — ``pending`` is already sorted): each member's end
+        # snapshot seeds the next through the on-disk store.  Distinct
+        # prefixes still fan out across the pool.
+        chains: List[List[int]] = []
+        if ckpt_root is not None:
+            from ..checkpoint import CheckpointStore
+
+            store = CheckpointStore(ckpt_root)
+            by_prefix: Dict[str, List[int]] = {}
+            for index in pending:
+                prefix = store.prefix_key(jobs[index].spec())
+                by_prefix.setdefault(prefix, []).append(index)
+            chains = list(by_prefix.values())
+        else:
+            chains = [[index] for index in pending]
+        workers = min(self.workers, len(chains))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_worker, jobs[index]): index for index in pending
+                pool.submit(
+                    _worker_chain,
+                    [jobs[index] for index in chain],
+                    ckpt_root,
+                    resume_ok,
+                ): chain
+                for chain in chains
             }
             for future in as_completed(futures):
-                index = futures[future]
+                chain = futures[future]
                 try:
-                    outcomes[index] = future.result()
+                    results = future.result()
                 except Exception as exc:
                     # A worker that died outright (BrokenProcessPool,
-                    # unpicklable payload) still yields a record, not a
+                    # unpicklable payload) still yields records, not a
                     # crashed sweep.
-                    outcomes[index] = JobOutcome(
-                        error=_error_record(jobs[index], exc, retried=False)
-                    )
+                    for index in chain:
+                        outcomes[index] = JobOutcome(
+                            error=_error_record(
+                                jobs[index], exc, retried=False
+                            )
+                        )
+                    continue
+                for index, outcome in zip(chain, results):
+                    outcomes[index] = outcome
 
     def _account(
         self,
@@ -358,6 +513,8 @@ class ExperimentEngine:
             elif outcome.ok:
                 self.stats.jobs_run += 1
                 self.stats.wall_time_spent_s += outcome.elapsed_s
+                if outcome.resumed_from is not None:
+                    self.stats.jobs_resumed += 1
             else:
                 self.stats.jobs_failed += 1
                 if not isolate:
@@ -368,6 +525,7 @@ class ExperimentEngine:
         metrics = self.metrics
         metrics.gauge("engine.jobs_run").set(self.stats.jobs_run)
         metrics.gauge("engine.jobs_cached").set(self.stats.jobs_cached)
+        metrics.gauge("engine.jobs_resumed").set(self.stats.jobs_resumed)
         metrics.gauge("engine.jobs_failed").set(self.stats.jobs_failed)
         metrics.gauge("engine.wall_time_saved_s").set(
             self.stats.wall_time_saved_s

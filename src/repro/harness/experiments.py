@@ -1139,3 +1139,110 @@ def resilience(
         if row is not None:
             result.rows.append(row)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Budget-scaling curve — the incremental-simulation showcase.
+# ---------------------------------------------------------------------------
+@dataclass
+class ScalingResult:
+    """Speedup convergence over ascending instruction budgets.
+
+    The paper's headline numbers come from one long run per cell; this
+    sweep shows *how* the self-repairing policy's advantage develops as
+    the measured budget grows — the optimizer links traces, inserts
+    prefetches, and repairs distances over time, so short budgets
+    understate it.  The sweep is also the checkpoint subsystem's natural
+    workload: every (workload, policy) column is one resume chain, and
+    with a checkpoint store attached the engine pays for the longest
+    budget plus capture overhead instead of the sum of all budgets.
+    """
+
+    budgets: List[int] = field(default_factory=list)
+    rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
+
+    def render(self) -> str:
+        table_rows = []
+        for r in self.rows:
+            speedups = r["speedups"]
+            table_rows.append(
+                (
+                    r["workload"],
+                    *(speedup_percent(s) for s in speedups),
+                    sparkline([max(0.0, s - 1.0) for s in speedups]),
+                )
+            )
+        if self.rows:
+            means = [
+                arithmetic_mean([r["speedups"][i] for r in self.rows])
+                for i in range(len(self.budgets))
+            ]
+            table_rows.append(
+                (
+                    "average",
+                    *(speedup_percent(s) for s in means),
+                    sparkline([max(0.0, s - 1.0) for s in means]),
+                )
+            )
+        table = render_table(
+            ["benchmark"]
+            + [f"{budget:,}" for budget in self.budgets]
+            + ["trend"],
+            table_rows,
+            title=(
+                "Budget scaling: self-repairing speedup over HW_ONLY at "
+                "ascending measured budgets (one checkpoint chain per "
+                "column pair)"
+            ),
+        )
+        return _with_errors(table, self.errors)
+
+
+def scaling_curve(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
+    steps: int = 3,
+) -> ScalingResult:
+    """Self-repairing vs HW_ONLY speedup at ``steps`` ascending budgets.
+
+    Budgets are ``max_instructions/steps * (1..steps)``; with the
+    engine's checkpoint store enabled (the default), each budget resumes
+    from the previous one's end snapshot.
+    """
+    names = bench_workloads(workloads)
+    top = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    if steps < 1:
+        steps = 1
+    budgets = [max(1, top * i // steps) for i in range(1, steps + 1)]
+    result = ScalingResult(budgets=budgets)
+    jobs = []
+    for name in names:
+        for policy in (
+            PrefetchPolicy.HW_ONLY, PrefetchPolicy.SELF_REPAIRING
+        ):
+            for budget in budgets:
+                jobs.append(make_job(
+                    name, policy=policy,
+                    max_instructions=budget, warmup_instructions=warm,
+                    fast=fast,
+                ))
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+    for name in names:
+        if name not in grouped:
+            continue
+        runs = grouped[name]
+        base_runs = runs[:len(budgets)]
+        self_runs = runs[len(budgets):]
+        result.rows.append({
+            "workload": name,
+            "speedups": [
+                srun.speedup_over(base)
+                for base, srun in zip(base_runs, self_runs)
+            ],
+        })
+    return result

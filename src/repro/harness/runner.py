@@ -35,6 +35,11 @@ from ..workloads.registry import BENCHMARK_NAMES, load_workload
 
 _log = get_logger("harness")
 
+#: Chunk stride while a checkpoint capture is waiting for a quiescent
+#: point — small enough to catch a helper job finishing promptly, large
+#: enough that the extra chunk-boundary bookkeeping stays negligible.
+_CKPT_RETRY_STEP = 512
+
 
 class _ReplaySample:
     """Stand-in for :class:`~repro.obs.sampling.Sample` on cache replay.
@@ -312,6 +317,45 @@ class Simulation:
             if self.injector is not None:
                 self.injector.obs = observer
 
+        # Checkpointing (repro.checkpoint).  ``checkpoint_sink`` is a
+        # callable given this Simulation at capture-eligible chunk
+        # boundaries — the end of the run, plus every
+        # ``config.checkpoint_every`` committed instructions — returning
+        # True when it stored a snapshot.  It is attached by the engine
+        # or CLI *after* construction and is never part of simulated
+        # state (a snapshot carries it as None).
+        self.checkpoint_sink = None
+        self.checkpoints_captured = 0
+        # Measurement-start coordinates and the sampler boundary are
+        # instance state (not ``run()`` locals) so a snapshot carries
+        # them and ``resume()`` continues mid-stream.  The capture
+        # schedule (cadence mark, final-call mark, sticky due flag) is
+        # per-run-segment and recomputed by ``_complete``.
+        self._measure_start = (0, 0.0)
+        self._next_sample_at: Optional[int] = None
+        self._next_ckpt_at: Optional[int] = None
+        self._final_call_at: Optional[int] = None
+        self._ckpt_due = False
+
+    def __getstate__(self):
+        """Snapshots never carry the sink (it closes over the store and
+        is re-attached — or not — by whoever restores the snapshot), and
+        the per-segment capture schedule is normalised away: it depends
+        on this run's budget and cadence, not on simulated state, and is
+        recomputed by ``_complete``.  Normalising keeps capture →
+        restore → capture byte-identical and lets two runs with
+        different budgets produce the same snapshot bytes at the same
+        committed count."""
+        state = dict(self.__dict__)
+        state["checkpoint_sink"] = None
+        state["checkpoints_captured"] = 0
+        state["_next_ckpt_at"] = None
+        state["_final_call_at"] = None
+        state["_ckpt_due"] = False
+        if state["config"].checkpoint_every is not None:
+            state["config"] = state["config"].replace(checkpoint_every=None)
+        return state
+
     def _cumulative_counters(self) -> Dict[str, float]:
         """Cumulative counter readings for the interval sampler."""
         committed, cycles = self.core.snapshot()
@@ -328,46 +372,135 @@ class Simulation:
             "dl_events": runtime.dlt.events_fired if runtime else 0,
         }
 
+    def _record_sample(self) -> None:
+        """Close the current sampler window and advance the boundary."""
+        obs = self.observer
+        sample = obs.sampler.record(**self._cumulative_counters())
+        obs.emit(
+            "sample",
+            sample.end_cycle,
+            index=sample.index,
+            ipc=sample.ipc,
+            miss_rate=sample.miss_rate,
+            avg_access_latency=sample.avg_access_latency,
+            repairs=sample.repairs,
+            dl_events=sample.dl_events,
+        )
+        self._next_sample_at = (
+            self.core.stats.committed + obs.sampler.interval
+        )
+
+    def _maybe_checkpoint(self, committed: int, target: int) -> None:
+        """Offer the sink a capture at an eligible chunk boundary.
+
+        Eligible points: every ``checkpoint_every`` committed
+        instructions (when configured), the final-call mark shortly
+        before the end, and the end of the run (or a halt).  A capture
+        can fail benignly — the helper thread may have an optimization
+        job in flight, which cannot be snapshotted — so a due capture
+        stays *due* until one succeeds; the chunk loop shortens its
+        strides while a capture is pending so the next quiescent point
+        is found within a few hundred instructions.  The final-call
+        mark exists because the exact end of a run is not reliably
+        quiescent: a capture slightly early still lets a longer run
+        skip almost the whole prefix.
+        """
+        at_end = committed >= target or self.core.ctx.halted
+        boundary = self._next_ckpt_at
+        if boundary is not None and committed >= boundary:
+            self._ckpt_due = True
+            every = self.config.checkpoint_every
+            while boundary <= committed:
+                boundary += every
+            self._next_ckpt_at = boundary
+        final_call = self._final_call_at
+        if final_call is not None and committed >= final_call:
+            self._ckpt_due = True
+            self._final_call_at = None
+        if at_end:
+            self._ckpt_due = True
+        if self._ckpt_due and self.checkpoint_sink(self):
+            self.checkpoints_captured += 1
+            self._ckpt_due = False
+        if at_end:
+            # Nothing runs after the end; a still-pending capture is a
+            # miss, not a carry-over into some later resume segment.
+            self._ckpt_due = False
+
     def _run_measured(self, target: int) -> None:
         """Run the core to ``target`` committed instructions, closing a
-        sampler window every ``interval`` instructions.
+        sampler window every ``interval`` instructions and offering the
+        checkpoint sink captures at chunk boundaries.
 
         Chunked ``SMTCore.run`` calls are bit-identical to one call (the
         resilience experiment has always relied on this), so sampling
-        changes only when we *look*, never what happens.
+        and checkpointing change only when we *look*, never what
+        happens.  One capture-ordering rule keeps snapshots
+        prefix-exact when a sampler is attached: a snapshot must equal
+        the state a longer cold run has at the same committed count.
+        At a window boundary (or a halt) the longer run records the
+        same sample, so capture follows the record; at an unaligned
+        end-of-run the longer run records nothing, so capture precedes
+        the tail record.
         """
+        core = self.core
         obs = self.observer
         sampler = obs.sampler if obs is not None else None
-        if sampler is None:
-            self.core.run(target)
+        sink = self.checkpoint_sink
+        if sampler is None and sink is None:
+            core.run(target)
             return
-        sampler.start(**self._cumulative_counters())
-        while not self.core.ctx.halted and self.core.stats.committed < target:
-            stop = min(
-                self.core.stats.committed + sampler.interval, target
-            )
-            self.core.run(stop, drain=False)
-            sample = sampler.record(**self._cumulative_counters())
-            obs.emit(
-                "sample",
-                sample.end_cycle,
-                index=sample.index,
-                ipc=sample.ipc,
-                miss_rate=sample.miss_rate,
-                avg_access_latency=sample.avg_access_latency,
-                repairs=sample.repairs,
-                dl_events=sample.dl_events,
-            )
+        interval = sampler.interval if sampler is not None else None
+        while not core.ctx.halted and core.stats.committed < target:
+            stop = target
+            if interval is not None and self._next_sample_at < stop:
+                stop = self._next_sample_at
+            if sink is not None:
+                if self._ckpt_due:
+                    # A capture is pending a quiescent point: short
+                    # strides until one is found.
+                    stop = min(
+                        stop,
+                        core.stats.committed + _CKPT_RETRY_STEP,
+                    )
+                else:
+                    if (
+                        self._next_ckpt_at is not None
+                        and self._next_ckpt_at < stop
+                    ):
+                        stop = self._next_ckpt_at
+                    if (
+                        self._final_call_at is not None
+                        and self._final_call_at < stop
+                    ):
+                        stop = self._final_call_at
+            core.run(stop, drain=False)
+            committed = core.stats.committed
+            shared_boundary = False
+            if interval is not None:
+                shared_boundary = (
+                    committed >= self._next_sample_at or core.ctx.halted
+                )
+                if shared_boundary:
+                    self._record_sample()
+            if sink is not None:
+                self._maybe_checkpoint(committed, target)
+            if (
+                interval is not None
+                and not shared_boundary
+                and committed >= target
+            ):
+                self._record_sample()
         # The one drain the chunked calls skipped (see SMTCore.run).
-        self.hierarchy.drain(int(self.core.cycles) + 1)
+        self.hierarchy.drain(int(core.cycles) + 1)
 
     def run(self) -> SimulationResult:
         """Execute the configured instruction budget and collect results."""
         cfg = self.config
-        start_committed, start_cycles = 0, 0.0
+        self._measure_start = (0, 0.0)
         if cfg.warmup_instructions > 0:
             self.core.run(cfg.warmup_instructions)
-            start_committed, start_cycles = self.core.snapshot()
+            self._measure_start = self.core.snapshot()
             # Measurement counters restart after warmup; cache, DLT,
             # trace, and repair state all persist (that is the point of
             # warming up).  Every stat holder resets *in place* — the
@@ -376,7 +509,65 @@ class Simulation:
             # fork the accounting.
             self.core.stats.reset_measurement()
             self.hierarchy.stats.reset_measurement()
-        self._run_measured(cfg.warmup_instructions + cfg.max_instructions)
+        obs = self.observer
+        if obs is not None and obs.sampler is not None:
+            obs.sampler.start(**self._cumulative_counters())
+            self._next_sample_at = (
+                self.core.stats.committed + obs.sampler.interval
+            )
+        return self._complete()
+
+    def resume(
+        self, max_instructions: Optional[int] = None
+    ) -> SimulationResult:
+        """Continue a restored run (see :mod:`repro.checkpoint`) to its
+        — optionally raised — budget and collect results.
+
+        Warmup, sampler start, and measurement-counter resets all
+        happened before the snapshot was captured and are carried by it;
+        this entry point only finishes the measured segment.  By the
+        chunked-run invariant the outcome is byte-identical to a cold
+        run at the same final budget.
+        """
+        cfg = self.config
+        if max_instructions is not None:
+            self.config = cfg = cfg.replace(
+                max_instructions=max_instructions
+            )
+        target = cfg.warmup_instructions + cfg.max_instructions
+        if self.core.stats.committed > target:
+            raise ConfigError(
+                f"cannot resume to {target} total instructions: the "
+                f"snapshot is already at {self.core.stats.committed}"
+            )
+        return self._complete()
+
+    def _complete(self) -> SimulationResult:
+        """Run the measured segment to the configured budget and build
+        the result (shared by :meth:`run` and :meth:`resume`)."""
+        cfg = self.config
+        start_committed, start_cycles = self._measure_start
+        target = cfg.warmup_instructions + cfg.max_instructions
+        self._next_ckpt_at = None
+        self._final_call_at = None
+        self._ckpt_due = False
+        if self.checkpoint_sink is not None:
+            committed = self.core.stats.committed
+            every = cfg.checkpoint_every
+            if every:
+                self._next_ckpt_at = (committed // every + 1) * every
+            remaining = target - committed
+            if self.injector is not None and remaining > 2 * _CKPT_RETRY_STEP:
+                # Insurance for fault-plan runs only: an open fault
+                # window can make the end-of-run boundary non-quiescent,
+                # so arm one extra capture shortly before the target.
+                # Without an injector the end boundary always captures,
+                # and the margin snapshot would be pure overhead.
+                margin = max(
+                    _CKPT_RETRY_STEP, min(8 * _CKPT_RETRY_STEP, remaining // 8)
+                )
+                self._final_call_at = target - margin
+        self._run_measured(target)
         committed, cycles = self.core.snapshot()
         if self.injector is not None:
             self.injector.finish(cycles)

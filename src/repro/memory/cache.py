@@ -12,6 +12,7 @@ Two pieces of metadata exist purely for the paper's Figure 6 accounting:
 
 from __future__ import annotations
 
+from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -27,6 +28,13 @@ class CacheLine:
     block: int
     prefetched: bool = False
     prefetch_source: Optional[PrefetchSource] = None
+
+
+#: Per-line metadata byte for the packed pickle form (__getstate__):
+#: bit 2 = prefetched, bits 0-1 = prefetch source.
+_SOURCE_CODE = {None: 0, PrefetchSource.SOFTWARE: 1,
+                PrefetchSource.STREAM_BUFFER: 2}
+_SOURCE_DECODE = {code: source for source, code in _SOURCE_CODE.items()}
 
 
 class SetAssociativeCache:
@@ -61,6 +69,56 @@ class SetAssociativeCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Pickle support.  A populated cache holds tens of thousands of
+    # CacheLine objects; serialised generically they dominate snapshot
+    # capture time.  The packed form stores each set as (index, block
+    # array, metadata bytes) — value-deterministic, LRU order preserved
+    # by column position.  Empty buckets are dropped and sets are sorted
+    # by index: both are behaviourally invisible (``_set_for`` recreates
+    # buckets on demand, nothing iterates ``_sets`` in an order-sensitive
+    # way) and make the bytes canonical across different histories.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        packed = []
+        for index in sorted(self._sets):
+            bucket = self._sets[index]
+            if not bucket:
+                continue
+            blocks = array("q", bucket.keys()).tobytes()
+            metas = bytes(
+                (line.prefetched << 2) | _SOURCE_CODE[line.prefetch_source]
+                for line in bucket.values()
+            )
+            packed.append((index, blocks, metas))
+        state["_sets"] = packed
+        state["_displaced_by_prefetch"] = array(
+            "q", self._displaced_by_prefetch.keys()
+        ).tobytes()
+        return state
+
+    def __setstate__(self, state):
+        # Replace the packed entries in place (not pop-and-reassign):
+        # the instance-dict key order is part of the canonical snapshot
+        # bytes and must survive a restore round trip unchanged.
+        sets: Dict[int, OrderedDict] = {}
+        for index, blocks, metas in state["_sets"]:
+            bucket = OrderedDict()
+            for block, meta in zip(array("q", blocks), metas):
+                bucket[block] = CacheLine(
+                    block=block,
+                    prefetched=bool(meta & 4),
+                    prefetch_source=_SOURCE_DECODE[meta & 3],
+                )
+            sets[index] = bucket
+        state["_sets"] = sets
+        state["_displaced_by_prefetch"] = OrderedDict(
+            (block, True)
+            for block in array("q", state["_displaced_by_prefetch"])
+        )
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     def block_of(self, addr: int) -> int:

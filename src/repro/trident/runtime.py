@@ -23,7 +23,8 @@ so the main thread executes unmodified code.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Optional, Set
 
 from ..config import MachineConfig, PrefetchPolicy, TridentConfig
 from ..core.optimizer import PrefetchOptimizer
@@ -41,6 +42,67 @@ from .trace_formation import form_trace
 from .watch_table import WatchTable
 
 _log = get_logger("trident")
+
+
+@dataclass
+class _LinkTraceApply:
+    """Helper-job completion: link a freshly formed trace.
+
+    An object rather than a closure so an in-flight job can ride inside a
+    simulator snapshot (repro.checkpoint); both fields are already part
+    of the simulated object graph, so pickling preserves identity.
+    """
+
+    runtime: "TridentRuntime"
+    trace: HotTrace
+
+    def __call__(self) -> None:
+        rt = self.runtime
+        trace = self.trace
+        rt.code_cache.link(trace)
+        rt.watch_table.register(
+            trace.trace_id, trace.head_pc, len(trace.body)
+        )
+        rt.traces_linked += 1
+        rt.trace_load_pcs.update(trace.load_pcs())
+        if rt.obs is not None:
+            # Runs inside the helper job: stamped at job completion
+            # via the observer's logical clock.
+            rt.obs.emit(
+                "trace_link",
+                None,
+                trace_id=trace.trace_id,
+                head_pc=trace.head_pc,
+                length=len(trace.body),
+            )
+        _log.debug(
+            "linked trace %d @ pc %d (%d instructions)",
+            trace.trace_id, trace.head_pc, len(trace.body),
+        )
+
+
+@dataclass
+class _OptimizeApply:
+    """Helper-job completion: run the optimizer's action, then reset the
+    watch-table optimization flag — "before the optimizer finishes, it
+    resets the hot trace's optimization flag" — on both the old and (if
+    regenerated) the new trace's entries.  Picklable for the same reason
+    as :class:`_LinkTraceApply`."""
+
+    runtime: "TridentRuntime"
+    trace: HotTrace
+    inner: Callable[[], None]
+
+    def __call__(self) -> None:
+        rt = self.runtime
+        watch = rt.watch_table
+        try:
+            self.inner()
+        finally:
+            watch.set_optimizing(self.trace.trace_id, False)
+            current = rt.code_cache.lookup(self.trace.head_pc)
+            if current is not None:
+                watch.set_optimizing(current.trace_id, False)
 
 
 class TridentRuntime:
@@ -340,30 +402,10 @@ class TridentRuntime:
         trace.body = body
         self.traces_formed += 1
         work = len(body) * self.trident.optimizer_cycles_per_instruction
-
-        def apply() -> None:
-            self.code_cache.link(trace)
-            self.watch_table.register(
-                trace.trace_id, trace.head_pc, len(trace.body)
-            )
-            self.traces_linked += 1
-            self.trace_load_pcs.update(trace.load_pcs())
-            if self.obs is not None:
-                # Runs inside the helper job: stamped at job completion
-                # via the observer's logical clock.
-                self.obs.emit(
-                    "trace_link",
-                    None,
-                    trace_id=trace.trace_id,
-                    head_pc=trace.head_pc,
-                    length=len(trace.body),
-                )
-            _log.debug(
-                "linked trace %d @ pc %d (%d instructions)",
-                trace.trace_id, trace.head_pc, len(trace.body),
-            )
-
-        self.helper.schedule(cycle, work, apply, kind="form")
+        self.helper.schedule(
+            cycle, work, _LinkTraceApply(runtime=self, trace=trace),
+            kind="form",
+        )
 
     def _dispatch_delinquent_load(
         self, event: DelinquentLoadEvent, cycle: float
@@ -376,27 +418,16 @@ class TridentRuntime:
             self.dlt.clear_window(event.load_pc)
             return
         job = self.optimizer.process_delinquent_load(trace, event.load_pc)
-        watch = self.watch_table
-        trace_id = trace.trace_id
         if job is None:
-            watch.set_optimizing(trace_id, False)
+            self.watch_table.set_optimizing(trace.trace_id, False)
             self.dlt.clear_window(event.load_pc)
             return
-        inner_apply = job.apply
-
-        def apply() -> None:
-            try:
-                inner_apply()
-            finally:
-                # "Before the optimizer finishes, it resets the hot
-                # trace's optimization flag" — on both the old and (if
-                # regenerated) the new trace's watch entries.
-                watch.set_optimizing(trace_id, False)
-                current = self.code_cache.lookup(trace.head_pc)
-                if current is not None:
-                    watch.set_optimizing(current.trace_id, False)
-
-        self.helper.schedule(cycle, job.work_cycles, apply, kind=job.kind)
+        self.helper.schedule(
+            cycle,
+            job.work_cycles,
+            _OptimizeApply(runtime=self, trace=trace, inner=job.apply),
+            kind=job.kind,
+        )
 
     # ------------------------------------------------------------------
     # Reporting helpers.

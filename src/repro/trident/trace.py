@@ -105,6 +105,14 @@ class HotTrace:
     def prefetch_instructions(self) -> List[TraceInstruction]:
         return [t for t in self.body if t.inst.is_prefetch]
 
+    def __getstate__(self):
+        """Drop the fast interpreter's compiled-handler cache (closures
+        over core state; derived, rebuilt on the next trace entry) so
+        traces checkpoint cleanly (repro.checkpoint)."""
+        state = dict(self.__dict__)
+        state.pop("_fast_cache", None)
+        return state
+
     def derive(
         self,
         body: List[TraceInstruction],

@@ -359,10 +359,10 @@ class TestIsolation:
 
         real = engine_mod._execute_job
 
-        def sabotaged(job):
+        def sabotaged(job, *args, **kwargs):
             if job.workload == "art":
                 raise RuntimeError("injected crash")
-            return real(job)
+            return real(job, *args, **kwargs)
 
         monkeypatch.setattr(engine_mod, "_execute_job", sabotaged)
         result = experiments.fig2_hw_baseline(

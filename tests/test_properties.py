@@ -253,7 +253,7 @@ class TestConfigProperties:
         assert machine.l1.size_bytes == factor * 16 * 1024
 
 
-def _delayed_fake_execute(job):
+def _delayed_fake_execute(job, *args, **kwargs):
     """Stand-in simulation for ordering tests: completion time is keyed
     off the job's seed, so later-submitted jobs can finish first."""
     import time
@@ -263,6 +263,7 @@ def _delayed_fake_execute(job):
     return (
         SimpleNamespace(workload=job.workload, seed=job.config.seed),
         0.0,
+        None,
     )
 
 

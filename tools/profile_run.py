@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Profile one simulation cell under cProfile.
+
+Answers "where does the wall time of a cell go?" without touching the
+simulator: runs one (workload, policy, budget) cell under either
+interpreter and prints the top-N functions by cumulative time.
+
+Examples::
+
+    PYTHONPATH=src python tools/profile_run.py mcf
+    PYTHONPATH=src python tools/profile_run.py swim --policy hw_only \
+        --instructions 200000 --no-fast --top 40
+    PYTHONPATH=src python tools/profile_run.py art --out art.pstats
+    python -m pstats art.pstats     # interactive drill-down later
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pathlib
+import pstats
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.config import PrefetchPolicy  # noqa: E402
+from repro.harness.runner import run_simulation  # noqa: E402
+from repro.workloads.registry import BENCHMARK_NAMES  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile one simulation cell",
+    )
+    parser.add_argument("workload", choices=BENCHMARK_NAMES)
+    parser.add_argument(
+        "--policy",
+        default="self_repairing",
+        choices=[p.value for p in PrefetchPolicy],
+    )
+    parser.add_argument("--instructions", type=int, default=100_000)
+    parser.add_argument("--warmup", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--fast",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "profile the decoded fast interpreter (default); --no-fast "
+            "profiles the reference step loop"
+        ),
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        metavar="N",
+        default=25,
+        help="rows of the cumulative-time table to print (default 25)",
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="stat column to rank by (default cumulative)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE.pstats",
+        default=None,
+        help="also dump raw stats for pstats/snakeviz drill-down",
+    )
+    args = parser.parse_args(argv)
+
+    profile = cProfile.Profile()
+    profile.enable()
+    result = run_simulation(
+        args.workload,
+        policy=PrefetchPolicy(args.policy),
+        max_instructions=args.instructions,
+        warmup_instructions=args.warmup,
+        seed=args.seed,
+        fast=args.fast,
+    )
+    profile.disable()
+
+    interp = "fast" if args.fast else "slow"
+    print(
+        f"cell: {args.workload}/{args.policy} "
+        f"({args.instructions:,} measured + {args.warmup:,} warmup, "
+        f"{interp} interpreter) -> IPC {result.ipc:.4f}"
+    )
+    print()
+    stats = pstats.Stats(profile, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw stats written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
