@@ -13,11 +13,21 @@ Examples::
     python -m repro run mcf --inject plan.json --wall-time-limit 120
     python -m repro figure 5 --workloads mcf,art --instructions 80000
     python -m repro figure resilience --workloads art,swim
+    python -m repro figure 5 --jobs 2 --journal-dir /tmp/j \\
+        --chaos seed=7 kill-rate=0.2
+    python -m repro resume-sweep --journal-dir /tmp/j
+
+A SIGINT (ctrl-C) or SIGTERM lands cleanly: in-flight futures are
+cancelled, everything already simulated is committed to the result
+cache and journal, and the process exits with ``128 + signum`` (130 or
+143) after a one-line notice — never a traceback.  ``resume-sweep``
+picks the interrupted sweep back up from its journal.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -104,6 +114,29 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
             "always captured when a checkpoint store is active)"
         ),
     )
+    parser.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "append every job transition to a durable journal under "
+            "DIR; an interrupted sweep can then be picked back up with "
+            "'repro resume-sweep --journal-dir DIR'"
+        ),
+    )
+    parser.add_argument(
+        "--chaos",
+        nargs="+",
+        metavar="K=V",
+        default=None,
+        help=(
+            "inject seeded fleet-level faults (worker kills, hangs, "
+            "torn journal writes, cache corruption) and prove the "
+            "output identical anyway; tokens: seed=N kill-rate=F "
+            "hang-rate=F hang-s=F max-kills=N torn-journal=N "
+            "corrupt-cache-rate=F — e.g. --chaos seed=7 kill-rate=0.2"
+        ),
+    )
 
 
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
@@ -114,7 +147,24 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
         from .checkpoint import CheckpointStore
 
         kwargs["checkpoints"] = CheckpointStore(args.checkpoint_dir)
+    if getattr(args, "journal_dir", None):
+        from .harness.journal import JobJournal
+
+        journal = JobJournal(args.journal_dir)
+        journal.append("sweep", argv=sys.argv[1:])
+        kwargs["journal"] = journal
+    if getattr(args, "chaos", None):
+        from .faults.chaos import ChaosPlan
+
+        kwargs["chaos"] = ChaosPlan.parse(args.chaos)
     return ExperimentEngine(**kwargs)
+
+
+def _print_fleet_summary(engine: ExperimentEngine) -> None:
+    """The per-invocation engine (and chaos) counters, on stderr."""
+    print(engine.stats.summary(), file=sys.stderr)
+    if engine.chaos is not None:
+        print(engine.chaos.summary(), file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -302,6 +352,16 @@ def _build_parser() -> argparse.ArgumentParser:
     claims.add_argument("--instructions", type=int, default=None)
     claims.add_argument("--warmup", type=int, default=None)
     _add_engine_args(claims)
+
+    resume = sub.add_parser(
+        "resume-sweep",
+        help=(
+            "pick an interrupted sweep back up from its job journal: "
+            "finished jobs replay from the result cache, unfinished "
+            "ones re-run"
+        ),
+    )
+    _add_engine_args(resume)
 
     cache = sub.add_parser(
         "cache",
@@ -509,7 +569,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     kwargs["engine"] = engine
     result = _FIGURES[args.figure](**kwargs)
     print(result.render())
-    print(engine.stats.summary(), file=sys.stderr)
+    _print_fleet_summary(engine)
     return 0
 
 
@@ -635,8 +695,72 @@ def _cmd_claims(args: argparse.Namespace) -> int:
         fast=args.fast,
     )
     print(render_verdicts(verdicts))
-    print(engine.stats.summary(), file=sys.stderr)
+    _print_fleet_summary(engine)
     return 0 if all(v.ok for v in verdicts) else 1
+
+
+def _cmd_resume_sweep(args: argparse.Namespace) -> int:
+    from .harness.engine import SimJob
+    from .harness.journal import JobJournal
+
+    if not args.journal_dir:
+        print(
+            "error: resume-sweep requires --journal-dir (the directory "
+            "an interrupted sweep journalled into)",
+            file=sys.stderr,
+        )
+        return 2
+    state = JobJournal(args.journal_dir).recover()
+    if not state.jobs:
+        print(
+            f"error: no recoverable journal under {args.journal_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    jobs = []
+    unreadable = 0
+    for record in state.jobs.values():
+        if record.job is None:
+            unreadable += 1
+            continue
+        try:
+            jobs.append(SimJob.from_dict(record.job))
+        except ReproError:
+            unreadable += 1
+    unfinished = len(state.unfinished())
+    print(
+        f"journal holds {len(state.jobs)} jobs "
+        f"({len(state.jobs) - unfinished} finished, "
+        f"{unfinished} unfinished"
+        + (f", {state.skipped} torn records skipped" if state.skipped else "")
+        + ")",
+        file=sys.stderr,
+    )
+    if unreadable:
+        print(
+            f"warning: {unreadable} journalled jobs have no readable "
+            "spec and cannot be resumed",
+            file=sys.stderr,
+        )
+    if not jobs:
+        print("error: nothing resumable", file=sys.stderr)
+        return 2
+    engine = _engine_from_args(args)
+    outcomes = engine.run(jobs)
+    failed = sum(1 for outcome in outcomes if not outcome.ok)
+    print(render_mapping(
+        "resume-sweep",
+        {
+            "jobs": len(jobs),
+            "replayed from cache": sum(1 for o in outcomes if o.cached),
+            "re-simulated": sum(
+                1 for o in outcomes if o.ok and not o.cached
+            ),
+            "failed": failed,
+        },
+    ))
+    _print_fleet_summary(engine)
+    return 0 if failed == 0 else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -670,9 +794,48 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+class _SignalExit(KeyboardInterrupt):
+    """KeyboardInterrupt that remembers which signal raised it."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__()
+        self.signum = signum
+
+
+def _install_signal_handlers():
+    """Route SIGINT/SIGTERM through one exception; returns a restorer.
+
+    Both signals become a :class:`_SignalExit` so every cleanup path —
+    pool/supervisor shutdown, the engine's ``interrupted`` journal
+    record, incremental cache commits — runs exactly as it does for a
+    plain ctrl-C, and ``main`` can still exit ``128 + signum``.
+    """
+    previous = {}
+
+    def handler(signum, frame):
+        raise _SignalExit(signum)
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):
+            # Not the main thread (embedded use): signals stay as-is.
+            pass
+
+    def restore() -> None:
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):
+                pass
+
+    return restore
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     configure_logging(level=args.log_level, quiet=args.quiet)
+    restore_signals = _install_signal_handlers()
     try:
         if args.command == "list":
             return _cmd_list()
@@ -688,12 +851,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_claims(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "resume-sweep":
+            return _cmd_resume_sweep(args)
         return _cmd_figure(args)
+    except KeyboardInterrupt as exc:
+        # Every finished job is already durable (the engine commits
+        # results as they complete and journals the interruption);
+        # report that and exit with the conventional signal code.
+        signum = getattr(exc, "signum", signal.SIGINT)
+        name = signal.Signals(signum).name
+        print(
+            f"interrupted ({name}); completed jobs are committed — "
+            "rerun the same command or 'repro resume-sweep' to continue",
+            file=sys.stderr,
+        )
+        return 128 + signum
     except ReproError as exc:
         # Structured errors are user errors or stalled runs, not bugs:
         # report them cleanly instead of dumping a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        restore_signals()
 
 
 if __name__ == "__main__":

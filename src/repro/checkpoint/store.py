@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import CheckpointError
 from ..harness.cache import (
+    _DISK_FULL_ERRNOS,
     SCHEMA_VERSION,
     code_version,
     default_cache_dir,
@@ -82,6 +83,10 @@ class CheckpointStore:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Snapshots moved aside after failing to parse/restore.
+        self.quarantined = 0
+        #: Set once the disk fills up; all later saves become no-ops.
+        self.disabled = False
 
     # ------------------------------------------------------------------
     # Keys and paths.
@@ -126,8 +131,9 @@ class CheckpointStore:
         """The largest usable snapshot at ``committed <= max_committed``.
 
         Candidates are tried largest-first; one that fails to parse is
-        skipped (and logged), not fatal — determinism means any stored
-        point at or before the target is a valid resume point.
+        quarantined (moved aside and logged), not fatal — determinism
+        means any stored point at or before the target is a valid resume
+        point.
         """
         for committed in reversed(self.committed_counts(prefix)):
             if committed > max_committed:
@@ -136,29 +142,56 @@ class CheckpointStore:
             try:
                 snapshot = Snapshot.from_bytes(path.read_bytes())
             except (OSError, CheckpointError) as exc:
-                _log.debug("checkpoint %s unusable: %s", path, exc)
+                self._quarantine(path, exc)
                 continue
             self.hits += 1
             return snapshot
         self.misses += 1
         return None
 
+    def _quarantine(self, path: pathlib.Path, exc: Exception) -> None:
+        """Move an unusable snapshot aside for autopsy; never raises."""
+        _log.warning("checkpoint %s unusable (%s); quarantining", path, exc)
+        dest = self.root / "quarantine" / path.parent.name / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            # Best-effort: an immovable corrupt snapshot is still skipped
+            # by the largest-first scan, it just stays in place.
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1
+
     def put(self, prefix: str, snapshot: Snapshot) -> bool:
-        """Atomically store one snapshot; returns False when skipped.
+        """Durably store one snapshot; returns False when skipped.
 
         An existing file for the same (prefix, committed) is left alone:
         determinism makes it byte-identical to what we would write.
         """
+        if self.disabled:
+            return False
         path = self.path_for(prefix, snapshot.committed)
         if path.exists():
             return False
         tmp = path.with_name(path.name + _tmp_suffix())
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_bytes(snapshot.to_bytes())
+            with open(tmp, "wb") as handle:
+                handle.write(snapshot.to_bytes())
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except OSError as exc:
-            _log.debug("checkpoint store failed for %s: %s", path, exc)
+            if exc.errno in _DISK_FULL_ERRNOS:
+                _log.warning(
+                    "checkpoint disk full (%s); disabling saves", exc
+                )
+                self.disabled = True
+            else:
+                _log.debug("checkpoint store failed for %s: %s", path, exc)
             try:
                 tmp.unlink()
             except OSError:

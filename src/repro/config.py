@@ -10,10 +10,39 @@ baselines of Figures 2 and 9).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from typing import Dict, Optional
 
 from .errors import ConfigError
+
+
+def _from_dict(cls, raw: Dict, nested: Optional[Dict[str, type]] = None):
+    """Rebuild a (frozen) config dataclass from its ``asdict`` form.
+
+    Unknown keys are ignored (a journal written by a newer build still
+    resumes on an older one); missing keys take the dataclass default;
+    nested dataclasses recurse.  Validation stays where it lives — in
+    each class's ``__post_init__``.
+    """
+    if not isinstance(raw, dict):
+        raise ConfigError(
+            f"{cls.__name__} must be rebuilt from a dict, got {raw!r}"
+        )
+    nested = nested or {}
+    kwargs = {}
+    for spec in dataclass_fields(cls):
+        if spec.name not in raw:
+            continue
+        value = raw[spec.name]
+        if spec.name in nested and isinstance(value, dict):
+            nested_cls = nested[spec.name]
+            rebuild = getattr(nested_cls, "from_dict", None)
+            value = (
+                rebuild(value) if rebuild is not None
+                else _from_dict(nested_cls, value)
+            )
+        kwargs[spec.name] = value
+    return cls(**kwargs)
 
 
 class PrefetchPolicy(enum.Enum):
@@ -184,6 +213,19 @@ class MachineConfig:
         """Table 1 exactly (with the 8x8 stream buffers)."""
         return MachineConfig()
 
+    @staticmethod
+    def from_dict(raw: Dict) -> "MachineConfig":
+        return _from_dict(
+            MachineConfig,
+            raw,
+            nested={
+                "l1": CacheConfig,
+                "l2": CacheConfig,
+                "l3": CacheConfig,
+                "stream_buffers": StreamBufferConfig,
+            },
+        )
+
     def with_stream_buffers(self, sb: StreamBufferConfig) -> "MachineConfig":
         return replace(self, stream_buffers=sb)
 
@@ -289,6 +331,10 @@ class TridentConfig:
     @staticmethod
     def paper_default() -> "TridentConfig":
         return TridentConfig()
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "TridentConfig":
+        return _from_dict(TridentConfig, raw, nested={"dlt": DLTConfig})
 
     def with_dlt(self, dlt: DLTConfig) -> "TridentConfig":
         return replace(self, dlt=dlt)
@@ -398,3 +444,13 @@ class SimulationConfig:
 
     def replace(self, **kwargs) -> "SimulationConfig":
         return replace(self, **kwargs)
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "SimulationConfig":
+        """Rebuild a config from its JSON-able job-spec form (the policy
+        arrives as its string value; ``__post_init__`` coerces it)."""
+        return _from_dict(
+            SimulationConfig,
+            raw,
+            nested={"machine": MachineConfig, "trident": TridentConfig},
+        )

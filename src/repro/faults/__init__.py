@@ -9,14 +9,21 @@ actually perturb a run mid-flight and watch the repair loop respond:
 * :mod:`repro.faults.injector` — :class:`FaultInjector`, which applies a
   plan to a live simulation through narrow component hooks;
 * :mod:`repro.faults.watchdog` — :class:`Watchdog`, the run-loop guard
-  that converts hangs into :class:`~repro.errors.SimulationStallError`.
+  that converts hangs into :class:`~repro.errors.SimulationStallError`;
+* :mod:`repro.faults.chaos` — :class:`ChaosPlan` / :class:`ChaosSchedule`,
+  seeded faults aimed at the experiment *fleet* itself (worker kills,
+  hangs, torn journal writes, cache corruption) rather than the
+  simulated machine.
 """
 
+from .chaos import ChaosPlan, ChaosSchedule
 from .injector import FaultInjector
 from .plan import FAULT_KINDS, FaultEvent, FaultPlan
 from .watchdog import Watchdog
 
 __all__ = [
+    "ChaosPlan",
+    "ChaosSchedule",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",

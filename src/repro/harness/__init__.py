@@ -12,6 +12,8 @@ from .engine import (
     make_job,
     run_workload_groups,
 )
+from .journal import JobJournal, JournalState, job_key
+from .supervisor import RetryPolicy, WorkerSupervisor
 from .experiments import (
     bench_instructions,
     bench_workloads,
@@ -48,12 +50,17 @@ __all__ = [
     "AblationResult",
     "EngineStats",
     "ExperimentEngine",
+    "JobJournal",
     "JobOutcome",
+    "JournalState",
     "ResultCache",
+    "RetryPolicy",
+    "WorkerSupervisor",
     "SimJob",
     "Simulation",
     "SimulationResult",
     "code_version",
+    "job_key",
     "make_job",
     "run_workload_groups",
     "stable_hash",

@@ -11,11 +11,20 @@ silently invalidates every prior entry.
 
 Entries store ``SimulationResult.to_dict()`` (plus the wall time the
 original run cost, so the engine can report time saved).  Writes are
-atomic — payload goes to a same-directory temp file first, then
-``os.replace`` — so concurrent writers (parallel engine workers, two
-bench invocations) can never tear an entry; last writer wins with an
-identical payload anyway.  A corrupted or truncated entry is treated as
-a miss, never an error.
+atomic and durable — payload goes to a same-directory temp file first,
+is fsynced, then ``os.replace``d — so concurrent writers (parallel
+engine workers, two bench invocations) can never tear an entry and a
+power cut never leaves a half-entry under the final name; last writer
+wins with an identical payload anyway.
+
+The read path is checksum-verified: every entry carries ``sum``, a
+truncated SHA-256 over the canonical JSON of its result payload.  An
+entry that fails to parse, has the wrong shape, or fails its checksum
+is **quarantined** — moved aside to ``<root>/quarantine/`` for autopsy,
+logged, and treated as a miss so the job re-simulates (degrade to a
+cold run, never an error).  A full disk degrades the whole cache to
+cache-off mode for the rest of the process instead of failing every
+store.
 
 The cache root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; entries
 live under ``<root>/results/<key[:2]>/<key>.json``.
@@ -23,6 +32,7 @@ live under ``<root>/results/<key[:2]>/<key>.json``.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import itertools
 import json
@@ -34,6 +44,17 @@ from typing import Dict, Optional
 from ..logutil import get_logger
 
 _log = get_logger("cache")
+
+#: errno values that mean "storage is out of room", not "this write is
+#: bad": the store disables itself instead of failing every later write.
+_DISK_FULL_ERRNOS = frozenset(
+    code
+    for code in (
+        getattr(errno, "ENOSPC", None),
+        getattr(errno, "EDQUOT", None),
+    )
+    if code is not None
+)
 
 #: Bumped whenever the entry payload layout changes; part of the key, so
 #: old-layout entries become unreachable rather than misparsed.
@@ -91,6 +112,11 @@ def stable_hash(spec: Dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def payload_checksum(result: Dict) -> str:
+    """Truncated stable hash guarding one entry's result payload."""
+    return stable_hash(result)[:16]
+
+
 class ResultCache:
     """Content-addressed store of serialised simulation results.
 
@@ -104,6 +130,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Entries moved aside after failing parse/shape/checksum checks.
+        self.quarantined = 0
+        #: Set once the disk fills up; all later stores become no-ops.
+        self.disabled = False
 
     # ------------------------------------------------------------------
     # Keys and paths.
@@ -127,22 +157,35 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict]:
         """The stored payload for ``key``, or None on miss/corruption.
 
-        The payload is ``{"schema", "spec", "elapsed_s", "result"}``;
-        anything that does not parse to that shape is a miss.
+        The payload is ``{"schema", "spec", "elapsed_s", "result", "sum"}``;
+        anything that does not parse to that shape, or whose ``sum`` does
+        not match its result payload, is quarantined and counted a miss.
         """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
+                raw = handle.read()
+        except OSError:
             self.misses += 1
             return None
-        if (
-            not isinstance(payload, dict)
-            or payload.get("schema") != SCHEMA_VERSION
-            or not isinstance(payload.get("result"), dict)
+        try:
+            payload = json.loads(raw)
+            good_shape = (
+                isinstance(payload, dict)
+                and payload.get("schema") == SCHEMA_VERSION
+                and isinstance(payload.get("result"), dict)
+            )
+        except ValueError:
+            payload, good_shape = None, False
+        if not good_shape:
+            self._quarantine(key, path, "unparseable or bad shape")
+            self.misses += 1
+            return None
+        expected = payload.get("sum")
+        if expected is not None and expected != payload_checksum(
+            payload["result"]
         ):
-            _log.debug("cache entry %s has a bad shape; treating as miss", key)
+            self._quarantine(key, path, "checksum mismatch")
             self.misses += 1
             return None
         self.hits += 1
@@ -151,13 +194,16 @@ class ResultCache:
     def put(
         self, key: str, spec: Dict, result: Dict, elapsed_s: float
     ) -> bool:
-        """Atomically store one result; returns False when storage fails."""
+        """Durably store one result; returns False when storage fails."""
+        if self.disabled:
+            return False
         path = self.path_for(key)
         payload = {
             "schema": SCHEMA_VERSION,
             "spec": spec,
             "elapsed_s": elapsed_s,
             "result": result,
+            "sum": payload_checksum(result),
         }
         # Unique per process, thread, and call: concurrent writers (pool
         # workers, threaded benches) must never share a temp file.
@@ -173,9 +219,18 @@ class ResultCache:
             # nested dicts like the load-outcome breakdown).
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except OSError as exc:
-            _log.debug("cache store failed for %s: %s", key, exc)
+            if exc.errno in _DISK_FULL_ERRNOS:
+                _log.warning(
+                    "cache disk full (%s); disabling stores for this run",
+                    exc,
+                )
+                self.disabled = True
+            else:
+                _log.debug("cache store failed for %s: %s", key, exc)
             try:
                 tmp.unlink()
             except OSError:
@@ -183,3 +238,25 @@ class ResultCache:
             return False
         self.stores += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Corruption handling.
+    # ------------------------------------------------------------------
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.root / "quarantine"
+
+    def _quarantine(self, key: str, path: pathlib.Path, reason: str) -> None:
+        """Move a corrupt entry aside for autopsy; never raises."""
+        _log.warning("cache entry %s %s; quarantining", key, reason)
+        dest = self.quarantine_dir() / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            # Quarantine is best-effort: an undeletable corrupt entry
+            # still reads as a miss, it just stays in place.
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.quarantined += 1

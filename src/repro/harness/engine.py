@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import (
     MachineConfig,
@@ -45,11 +47,12 @@ from ..config import (
     SimulationConfig,
     TridentConfig,
 )
-from ..errors import CheckpointError, ReproError
+from ..errors import CheckpointError, ReproError, WorkerCrashError
 from ..faults.plan import FaultPlan
 from ..logutil import get_logger
 from ..obs import MetricsRegistry, Observer
 from .cache import ResultCache
+from .journal import job_key
 from . import runner
 from .runner import SimulationResult
 
@@ -57,6 +60,10 @@ _log = get_logger("engine")
 
 #: Sentinel distinguishing "use the default cache" from "no cache".
 _DEFAULT_CACHE = object()
+
+#: Times a chain may break the process pool before its unfinished jobs
+#: are recorded as crashed instead of resubmitted.
+MAX_POOL_ATTEMPTS = 3
 
 
 @dataclass(frozen=True)
@@ -102,6 +109,35 @@ class SimJob:
         """Warmup + measured instructions (the resume-ordering key)."""
         return (
             self.config.warmup_instructions + self.config.max_instructions
+        )
+
+    def to_dict(self) -> Dict:
+        """The full job as JSON — ``spec()`` plus the fields the cache
+        key deliberately omits — so a journal can rebuild it."""
+        payload = self.spec()
+        payload["group"] = self.group
+        payload["checkpoint_every"] = self.config.checkpoint_every
+        return payload
+
+    @staticmethod
+    def from_dict(raw: Dict) -> "SimJob":
+        """Rebuild a job from :meth:`to_dict` (``resume-sweep``'s path)."""
+        if not isinstance(raw, dict) or "workload" not in raw:
+            raise ReproError(f"not a serialised SimJob: {raw!r}")
+        config_raw = dict(raw.get("config") or {})
+        if raw.get("checkpoint_every") is not None:
+            config_raw["checkpoint_every"] = raw["checkpoint_every"]
+        config = SimulationConfig.from_dict(config_raw)
+        fault_raw = raw.get("fault_plan")
+        return SimJob(
+            workload=raw["workload"],
+            config=config,
+            initial_distance_mode=raw.get("initial_distance_mode"),
+            fault_plan=(
+                None if fault_raw is None else FaultPlan.from_dict(fault_raw)
+            ),
+            sample_interval=raw.get("sample_interval"),
+            group=raw.get("group", ""),
         )
 
 
@@ -185,6 +221,14 @@ class EngineStats:
     #: Jobs that resumed from a stored checkpoint instead of running
     #: their whole prefix cold.
     jobs_resumed: int = 0
+    #: Jobs reclaimed from a dead or lease-expired worker (supervisor).
+    leases_reclaimed: int = 0
+    #: Re-dispatches of reclaimed jobs.
+    jobs_retried: int = 0
+    #: Jobs quarantined as poison after repeated strikes.
+    jobs_quarantined: int = 0
+    #: Times a broken process pool was rebuilt mid-sweep.
+    pool_rebuilds: int = 0
     #: Sum of the original wall time of every cache hit.
     wall_time_saved_s: float = 0.0
     wall_time_spent_s: float = 0.0
@@ -193,6 +237,9 @@ class EngineStats:
         return (
             f"engine: run={self.jobs_run} cached={self.jobs_cached} "
             f"resumed={self.jobs_resumed} failed={self.jobs_failed} "
+            f"reclaimed={self.leases_reclaimed} "
+            f"retried={self.jobs_retried} "
+            f"quarantined={self.jobs_quarantined} "
             f"spent={self.wall_time_spent_s:.1f}s "
             f"saved={self.wall_time_saved_s:.1f}s"
         )
@@ -300,6 +347,26 @@ def _worker(
         return JobOutcome(error=_error_record(job, exc, retried=False))
 
 
+#: Test seam for the broken-pool regression suite: when set to a path,
+#: the first pool worker to claim it (O_EXCL) dies with ``os._exit`` —
+#: the exact failure mode ``ProcessPoolExecutor`` reports as
+#: ``BrokenProcessPool``.  Inherited by fork and spawn children alike
+#: because it rides the environment.
+_ENV_CRASH_ONCE = "REPRO_TEST_CRASH_ONCE"
+
+
+def _maybe_crash_for_test() -> None:
+    latch = os.environ.get(_ENV_CRASH_ONCE)
+    if not latch:
+        return
+    try:
+        fd = os.open(latch, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError:
+        return
+    os.close(fd)
+    os._exit(13)
+
+
 def _worker_chain(
     jobs: List[SimJob],
     ckpt_root: Optional[str],
@@ -313,6 +380,7 @@ def _worker_chain(
     Submitted to the pool as one unit so the chain's data locality is
     not lost to scheduling.
     """
+    _maybe_crash_for_test()
     return [_worker(job, ckpt_root, resume_ok) for job in jobs]
 
 
@@ -332,6 +400,12 @@ class ExperimentEngine:
         refresh: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         checkpoints: Union["CheckpointStore", None, object] = _DEFAULT_CACHE,
+        journal=None,
+        supervised: bool = False,
+        chaos=None,
+        retry=None,
+        lease_s: float = 300.0,
+        heartbeat_s: float = 1.0,
     ) -> None:
         if not isinstance(workers, int) or workers < 1:
             raise ReproError(f"workers must be a positive int, got {workers!r}")
@@ -357,6 +431,37 @@ class ExperimentEngine:
             self.checkpoints = checkpoints
         self.stats = EngineStats()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Durable WAL of job transitions (see repro.harness.journal);
+        #: None journals nothing.
+        self.journal = journal
+        #: A bound ChaosSchedule accumulating injection counters, or
+        #: None.  Chaos kills workers, so it forces the supervised path
+        #: — an in-process SIGKILL would take the whole sweep down.
+        self.chaos = None
+        if chaos is not None:
+            from ..faults.chaos import ChaosPlan
+
+            plan = chaos if isinstance(chaos, ChaosPlan) else None
+            if plan is None:
+                raise ReproError(
+                    f"chaos must be a ChaosPlan, got {chaos!r}"
+                )
+            self._chaos_plan = plan
+            supervised = True
+        else:
+            self._chaos_plan = None
+        self.supervisor = None
+        if supervised:
+            from .supervisor import WorkerSupervisor
+
+            self.supervisor = WorkerSupervisor(
+                workers=self.workers,
+                lease_s=lease_s,
+                heartbeat_s=heartbeat_s,
+                retry=retry,
+                journal=self.journal,
+                metrics=self.metrics,
+            )
 
     # ------------------------------------------------------------------
     def run(
@@ -366,11 +471,22 @@ class ExperimentEngine:
 
         With ``isolate=False`` the first failure raises instead of
         becoming an error record (single-run CLI semantics).
+
+        Completed results are committed to the result cache (and the
+        journal) *as they finish*, not at the end — a SIGINT or a
+        crashed sweep keeps everything that was done, and a resumed
+        sweep replays it instead of recomputing.
         """
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
         keys: List[Optional[str]] = [None] * len(jobs)
+        jkeys = [job_key(job.spec()) for job in jobs] if (
+            self.journal is not None or self._chaos_plan is not None
+        ) else [None] * len(jobs)
         pending: List[int] = []
         for index, job in enumerate(jobs):
+            self._journal_event(
+                "submit", jkeys[index], job=job.to_dict()
+            )
             key = None
             if self.cache is not None:
                 key = self.cache.key_for(job.spec())
@@ -379,6 +495,7 @@ class ExperimentEngine:
                 outcome = self._replay(key)
                 if outcome is not None:
                     outcomes[index] = outcome
+                    self._journal_event("cached", jkeys[index])
                     continue
             pending.append(index)
 
@@ -387,26 +504,77 @@ class ExperimentEngine:
         # submission index, so output order is unchanged).
         pending.sort(key=lambda index: jobs[index].total_budget())
 
+        committed: set = set()
+
+        def commit(index: int, outcome: Optional[JobOutcome]) -> None:
+            """Flush one finished job durably the moment it completes."""
+            if outcome is None or index in committed:
+                return
+            committed.add(index)
+            if outcome.ok and keys[index] is not None:
+                self.cache.put(
+                    keys[index],
+                    jobs[index].spec(),
+                    outcome.result.to_dict(),
+                    outcome.elapsed_s,
+                )
+                if self.chaos is not None:
+                    self.chaos.maybe_corrupt_cache(
+                        self.cache.path_for(keys[index]), jkeys[index]
+                    )
+
         if pending:
-            if self.workers > 1 and len(pending) > 1:
-                self._run_pool(jobs, pending, outcomes)
-            else:
-                for index in pending:
-                    outcomes[index] = self._run_inprocess(
-                        jobs[index], isolate
+            try:
+                if self.supervisor is not None:
+                    self._run_supervised(
+                        jobs, pending, outcomes, jkeys, commit
                     )
-            for index in pending:
-                outcome = outcomes[index]
-                if outcome.ok and keys[index] is not None:
-                    self.cache.put(
-                        keys[index],
-                        jobs[index].spec(),
-                        outcome.result.to_dict(),
-                        outcome.elapsed_s,
-                    )
+                elif self.workers > 1 and len(pending) > 1:
+                    self._run_pool(jobs, pending, outcomes, jkeys, commit)
+                else:
+                    for index in pending:
+                        self._journal_event("start", jkeys[index])
+                        outcomes[index] = self._run_inprocess(
+                            jobs[index], isolate
+                        )
+                        commit(index, outcomes[index])
+                        self._journal_outcome(
+                            jkeys[index], outcomes[index]
+                        )
+            except BaseException:
+                # Cancelled or crashed mid-sweep: everything committed
+                # so far is already durable; record the interruption.
+                self._journal_event("interrupted", None)
+                raise
 
         self._account(jobs, outcomes, isolate)
         return outcomes
+
+    # ------------------------------------------------------------------
+    def _journal_event(self, event: str, key, **data) -> None:
+        if self.journal is not None:
+            self.journal.append(event, key=key, **data)
+
+    def _journal_outcome(self, key, outcome: Optional[JobOutcome]) -> None:
+        if self.journal is None or outcome is None:
+            return
+        if outcome.ok:
+            self._journal_event("done", key, elapsed_s=outcome.elapsed_s)
+        else:
+            self._journal_event("failed", key, error=outcome.error)
+
+    def _chaos_schedule(self, jkeys: Sequence[str]):
+        """Bind the chaos plan to this engine's first job set (lazily);
+        later runs reuse the same schedule so counters accumulate."""
+        if self._chaos_plan is None:
+            return None
+        if self.chaos is None:
+            self.chaos = self._chaos_plan.schedule(
+                [k for k in jkeys if k is not None]
+            )
+            if self.journal is not None and self._chaos_plan.torn_journal:
+                self.journal.write_filter = self.chaos.journal_filter()
+        return self.chaos
 
     def run_all(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
         """``run()`` with failures raised — for sweeps without isolation."""
@@ -448,58 +616,191 @@ class ExperimentEngine:
             )
         return _worker(job, self._ckpt_root, resume_ok)
 
+    def _chains(
+        self, jobs: Sequence[SimJob], pending: List[int]
+    ) -> List[List[int]]:
+        """Group pending job indexes into same-prefix chains.
+
+        Same-prefix jobs become one sequential chain (ascending by
+        budget — ``pending`` is already sorted): each member's end
+        snapshot seeds the next through the on-disk store.  Distinct
+        prefixes still fan out across the pool.
+        """
+        ckpt_root = self._ckpt_root
+        if ckpt_root is None:
+            return [[index] for index in pending]
+        from ..checkpoint import CheckpointStore
+
+        store = CheckpointStore(ckpt_root)
+        by_prefix: Dict[str, List[int]] = {}
+        for index in pending:
+            prefix = store.prefix_key(jobs[index].spec())
+            by_prefix.setdefault(prefix, []).append(index)
+        return list(by_prefix.values())
+
     def _run_pool(
         self,
         jobs: Sequence[SimJob],
         pending: List[int],
         outcomes: List[Optional[JobOutcome]],
+        jkeys: Sequence[Optional[str]],
+        commit: Callable[[int, Optional[JobOutcome]], None],
     ) -> None:
+        """The plain (unsupervised) fan-out path.
+
+        A broken pool — one worker SIGKILLed or ``os._exit``ing tears
+        down every sibling future in a ``ProcessPoolExecutor`` — no
+        longer loses the batch: completed chains are committed, the pool
+        is rebuilt, and only unfinished chains are resubmitted.  A chain
+        that keeps breaking the pool is given up on after
+        :data:`MAX_POOL_ATTEMPTS` tries and recorded as crashed.
+        """
         ckpt_root = self._ckpt_root
         resume_ok = not self.refresh
-        # Same-prefix jobs become one sequential chain (ascending by
-        # budget — ``pending`` is already sorted): each member's end
-        # snapshot seeds the next through the on-disk store.  Distinct
-        # prefixes still fan out across the pool.
-        chains: List[List[int]] = []
-        if ckpt_root is not None:
-            from ..checkpoint import CheckpointStore
+        remaining = self._chains(jobs, pending)
+        attempts: Dict[Tuple[int, ...], int] = {}
 
-            store = CheckpointStore(ckpt_root)
-            by_prefix: Dict[str, List[int]] = {}
-            for index in pending:
-                prefix = store.prefix_key(jobs[index].spec())
-                by_prefix.setdefault(prefix, []).append(index)
-            chains = list(by_prefix.values())
-        else:
-            chains = [[index] for index in pending]
-        workers = min(self.workers, len(chains))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _worker_chain,
-                    [jobs[index] for index in chain],
-                    ckpt_root,
-                    resume_ok,
-                ): chain
-                for chain in chains
-            }
-            for future in as_completed(futures):
-                chain = futures[future]
-                try:
-                    results = future.result()
-                except Exception as exc:
-                    # A worker that died outright (BrokenProcessPool,
-                    # unpicklable payload) still yields records, not a
-                    # crashed sweep.
+        def record_chain(chain, results) -> None:
+            for index, outcome in zip(chain, results):
+                outcomes[index] = outcome
+                commit(index, outcome)
+                self._journal_outcome(jkeys[index], outcome)
+
+        while remaining:
+            workers = min(self.workers, len(remaining))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            broken = False
+            try:
+                futures = {}
+                for chain in remaining:
+                    for index in chain:
+                        self._journal_event("start", jkeys[index])
+                    futures[pool.submit(
+                        _worker_chain,
+                        [jobs[index] for index in chain],
+                        ckpt_root,
+                        resume_ok,
+                    )] = tuple(chain)
+                for future in as_completed(futures):
+                    chain = futures[future]
+                    try:
+                        results = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    except Exception as exc:
+                        # A job whose *payload* failed (unpicklable
+                        # result, say) yields records, not a crashed
+                        # sweep — and not a retry, it would fail again.
+                        results = [
+                            JobOutcome(error=_error_record(
+                                jobs[index], exc, retried=False
+                            ))
+                            for index in chain
+                        ]
+                    record_chain(chain, results)
+                # Sweep up futures that finished before a break.
+                if broken:
+                    for future, chain in futures.items():
+                        if outcomes[chain[0]] is not None:
+                            continue
+                        if not future.done() or future.cancelled():
+                            continue
+                        try:
+                            record_chain(chain, future.result())
+                        except Exception:
+                            pass
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown(wait=False, cancel_futures=True)
+            if not broken:
+                break
+            self.stats.pool_rebuilds += 1
+            _log.warning(
+                "worker pool broke; rebuilding and resubmitting "
+                "unfinished chains"
+            )
+            next_round: List[List[int]] = []
+            for chain in remaining:
+                if outcomes[chain[0]] is not None:
+                    continue
+                chain_id = tuple(chain)
+                strikes = attempts.get(chain_id, 0) + 1
+                attempts[chain_id] = strikes
+                for index in chain:
+                    self._journal_event(
+                        "reclaimed", jkeys[index],
+                        reason="BrokenProcessPool", attempts=strikes,
+                    )
+                self.stats.leases_reclaimed += len(chain)
+                if strikes >= MAX_POOL_ATTEMPTS:
+                    exc = WorkerCrashError(
+                        f"chain crashed the worker pool {strikes} times"
+                    )
                     for index in chain:
                         outcomes[index] = JobOutcome(
                             error=_error_record(
-                                jobs[index], exc, retried=False
+                                jobs[index], exc, retried=True
                             )
                         )
-                    continue
-                for index, outcome in zip(chain, results):
-                    outcomes[index] = outcome
+                        self._journal_event(
+                            "quarantined", jkeys[index],
+                            error=outcomes[index].error,
+                        )
+                    self.stats.jobs_quarantined += len(chain)
+                else:
+                    self.stats.jobs_retried += len(chain)
+                    next_round.append(chain)
+            remaining = next_round
+
+    def _run_supervised(
+        self,
+        jobs: Sequence[SimJob],
+        pending: List[int],
+        outcomes: List[Optional[JobOutcome]],
+        jkeys: Sequence[Optional[str]],
+        commit: Callable[[int, Optional[JobOutcome]], None],
+    ) -> None:
+        """The crash-safe path: chains under the worker supervisor."""
+        chains = self._chains(jobs, pending)
+        schedule = self._chaos_schedule(
+            [jkeys[index] for index in pending]
+        )
+        units = [[jobs[index] for index in chain] for chain in chains]
+        unit_keys = [[jkeys[index] for index in chain] for chain in chains]
+
+        def on_outcome(unit_id: int, position: int, outcome) -> None:
+            commit(chains[unit_id][position], outcome)
+
+        supervisor = self.supervisor
+        before = (supervisor.reclaimed, supervisor.retries,
+                  supervisor.quarantined)
+        results = supervisor.execute(
+            units,
+            unit_keys,
+            self._ckpt_root,
+            not self.refresh,
+            chaos=schedule,
+            on_outcome=on_outcome,
+        )
+        for chain, chain_results in zip(chains, results):
+            for index, outcome in zip(chain, chain_results):
+                if outcome is None:
+                    outcome = JobOutcome(
+                        error=_error_record(
+                            jobs[index],
+                            WorkerCrashError(
+                                "job never produced an outcome"
+                            ),
+                            retried=False,
+                        )
+                    )
+                outcomes[index] = outcome
+                commit(index, outcome)
+        self.stats.leases_reclaimed += supervisor.reclaimed - before[0]
+        self.stats.jobs_retried += supervisor.retries - before[1]
+        self.stats.jobs_quarantined += supervisor.quarantined - before[2]
 
     def _account(
         self,
@@ -527,12 +828,22 @@ class ExperimentEngine:
         metrics.gauge("engine.jobs_cached").set(self.stats.jobs_cached)
         metrics.gauge("engine.jobs_resumed").set(self.stats.jobs_resumed)
         metrics.gauge("engine.jobs_failed").set(self.stats.jobs_failed)
+        metrics.gauge("engine.leases_reclaimed").set(
+            self.stats.leases_reclaimed
+        )
+        metrics.gauge("engine.jobs_retried").set(self.stats.jobs_retried)
+        metrics.gauge("engine.jobs_quarantined").set(
+            self.stats.jobs_quarantined
+        )
+        metrics.gauge("engine.pool_rebuilds").set(self.stats.pool_rebuilds)
         metrics.gauge("engine.wall_time_saved_s").set(
             self.stats.wall_time_saved_s
         )
         metrics.gauge("engine.wall_time_spent_s").set(
             self.stats.wall_time_spent_s
         )
+        if self.cache is not None:
+            metrics.gauge("cache.quarantined").set(self.cache.quarantined)
 
 
 def run_workload_groups(

@@ -347,6 +347,56 @@ class TestWatchdog:
         with pytest.raises(SimulationStallError, match="wall-time"):
             dog.check(committed=2, cycles=2.0)
 
+    def test_exactly_reached_cycle_budget_does_not_trip(self):
+        """Budgets are exclusive: landing *on* the limit is within it."""
+        dog = Watchdog(max_cycles=1_000.0)
+        dog.start()
+        dog.check(committed=10, cycles=1_000.0)
+        assert dog.trips == 0
+        with pytest.raises(SimulationStallError, match="cycle budget"):
+            dog.check(committed=20, cycles=1_000.5)
+
+    def test_exactly_reached_wall_deadline_does_not_trip(self):
+        now = [0.0]
+        dog = Watchdog(wall_time_limit=5.0, clock=lambda: now[0])
+        dog.start()
+        now[0] = 5.0
+        dog.check(committed=1, cycles=1.0)
+        assert dog.trips == 0
+        now[0] = 5.001
+        with pytest.raises(SimulationStallError, match="wall-time"):
+            dog.check(committed=2, cycles=2.0)
+
+    def test_zero_cycle_budget(self):
+        """max_cycles=0 means "no simulated time at all": the first
+        cycle of progress trips, but a zero-cycle check stays within
+        budget (the limit itself is inclusive)."""
+        dog = Watchdog(max_cycles=0.0)
+        dog.start()
+        dog.check(committed=0, cycles=0.0)
+        assert dog.trips == 0
+        with pytest.raises(SimulationStallError, match="cycle budget"):
+            dog.check(committed=1, cycles=1.0)
+
+    def test_trip_inside_fault_window(self):
+        """A watchdog firing while a fault plan is mid-flight must
+        surface the stall (with progress attached), not be masked by —
+        or corrupt — the injection machinery."""
+        plan = FaultPlan.latency_phase_shift(
+            at_instruction=100, extra_cycles=200, seed=1
+        )
+        try:
+            run_simulation(
+                spin_workload(), policy=PrefetchPolicy.NONE,
+                max_instructions=1_000_000_000, max_cycles=40_000,
+                fault_plan=plan,
+            )
+        except SimulationStallError as exc:
+            assert exc.committed > 100  # the fault window had opened
+            assert exc.cycles > 40_000
+        else:
+            pytest.fail("watchdog did not trip inside the fault window")
+
 
 # ---------------------------------------------------------------------------
 # Experiment failure isolation.

@@ -183,6 +183,66 @@ def test_sweep_baselines_simulated_once_across_ablations(
     }
 
 
+class TestReadPathHardening:
+    """Every corrupt-entry variant is a quarantined miss, never an error."""
+
+    def _stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _job().spec()
+        key = cache.key_for(spec)
+        assert cache.put(key, spec, {"ipc": 1.0}, elapsed_s=0.1)
+        return cache, key, cache.path_for(key)
+
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (cache.quarantine_dir() / path.name).exists()
+
+    def test_bad_checksum_is_quarantined(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["result"]["ipc"] = 9.9  # bit rot; sum now stale
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+
+    def test_empty_file_is_quarantined(self, tmp_path):
+        cache, key, path = self._stored(tmp_path)
+        path.write_bytes(b"")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_legacy_entry_without_checksum_still_reads(self, tmp_path):
+        """Entries written before the ``sum`` field are verified only by
+        shape — a miss would needlessly re-simulate on upgrade."""
+        cache, key, path = self._stored(tmp_path)
+        payload = json.loads(path.read_text())
+        del payload["sum"]
+        path.write_text(json.dumps(payload))
+        stored = cache.get(key)
+        assert stored is not None
+        assert cache.quarantined == 0
+
+    def test_quarantined_entry_heals_on_next_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        key = cache.key_for(job.spec())
+        engine = ExperimentEngine(cache=cache)
+        engine.run([job])
+        path = cache.path_for(key)
+        path.write_bytes(b"\x00garbage\x00")
+        outcome = ExperimentEngine(cache=cache).run([job])[0]
+        assert outcome.ok and not outcome.cached
+        assert cache.quarantined == 1
+        healed = cache.get(key)
+        assert healed is not None
+
+
 def test_refresh_overwrites_and_no_cache_skips(tmp_path):
     cache = ResultCache(tmp_path)
     job = _job()
