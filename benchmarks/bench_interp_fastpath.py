@@ -77,21 +77,30 @@ def render(rows):
     return "\n".join(lines)
 
 
-def test_interp_fastpath_speedup(benchmark, report):
-    rows = benchmark.pedantic(
-        run_fastpath_bench, iterations=1, rounds=1
-    )
-    report("interp_fastpath", render(rows))
+def record_rows(rows):
+    """Write the bench record (snapshot + history) for one run's rows.
+
+    Shared by the pytest bench and ``tools/bench_trend.py measure`` so
+    both produce identical records.
+    """
     wall_times = {}
     for workload, policy, slow_s, fast_s, _speedup in rows:
         wall_times[f"{workload}/{policy}/slow"] = slow_s
         wall_times[f"{workload}/{policy}/fast"] = fast_s
-    write_bench_record(
+    return write_bench_record(
         "interp_fastpath",
         wall_times_s=wall_times,
         speedup=max(r[4] for r in rows),
         extra={"gate_min_speedup": MIN_SPEEDUP},
     )
+
+
+def test_interp_fastpath_speedup(benchmark, report):
+    rows = benchmark.pedantic(
+        run_fastpath_bench, iterations=1, rounds=1
+    )
+    report("interp_fastpath", render(rows))
+    record_rows(rows)
     if not shapes_asserted():
         return  # tiny smoke budgets: ratios are all noise
     best = max(r[4] for r in rows)

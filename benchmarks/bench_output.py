@@ -16,6 +16,11 @@ Record shape::
       "speedup": <headline ratio, when the bench has one>,
       ... bench-specific extras ...
     }
+
+Besides the per-bench snapshot file, every record is also *appended* to
+``results/BENCH_history.jsonl`` stamped with the wall-clock time and the
+git revision — the longitudinal feed ``tools/bench_trend.py`` turns
+into per-PR trend reports and a perf-regression gate.
 """
 
 from __future__ import annotations
@@ -23,9 +28,69 @@ from __future__ import annotations
 import json
 import pathlib
 import platform
-from typing import Dict, Optional
+import subprocess
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Append-only longitudinal record: one JSON object per bench run, ever.
+HISTORY_PATH = RESULTS_DIR / "BENCH_history.jsonl"
+
+
+def _git_rev() -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=pathlib.Path(__file__).parent,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev or None
+
+
+def append_history(record: Dict) -> pathlib.Path:
+    """Append one bench record to ``BENCH_history.jsonl``.
+
+    The entry is the record plus ``recorded_at`` (UTC ISO timestamp)
+    and ``git_rev``; the file only ever grows, so the full perf history
+    of the repo is one greppable JSONL stream.
+    """
+    entry = dict(record)
+    entry["recorded_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    entry["git_rev"] = _git_rev()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(HISTORY_PATH, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return HISTORY_PATH
+
+
+def read_history(path: Optional[pathlib.Path] = None) -> List[Dict]:
+    """Load the history feed, oldest first; torn tail lines are skipped
+    (same recovery rule as the job journal)."""
+    records: List[Dict] = []
+    target = HISTORY_PATH if path is None else pathlib.Path(path)
+    try:
+        with open(target, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except OSError:
+        pass
+    return records
 
 
 def write_bench_record(
@@ -69,4 +134,5 @@ def write_bench_record(
         json.dumps(record, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    append_history(record)
     return path

@@ -139,7 +139,9 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+def _engine_from_args(
+    args: argparse.Namespace, want_telemetry: bool = False
+) -> ExperimentEngine:
     kwargs = {"workers": args.jobs, "refresh": args.refresh}
     if args.no_cache:
         kwargs["cache"] = None
@@ -147,11 +149,23 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
         from .checkpoint import CheckpointStore
 
         kwargs["checkpoints"] = CheckpointStore(args.checkpoint_dir)
-    if getattr(args, "journal_dir", None):
+    journal_dir = getattr(args, "journal_dir", None)
+    hub = None
+    if want_telemetry or journal_dir:
+        # A journalled sweep always gets a TelemetryHub: the hub's live
+        # feed lands beside the journal, which is exactly where `repro
+        # fleet status --journal-dir DIR` looks for it.
+        from .obs.telemetry import TelemetryHub
+
+        hub = TelemetryHub(out_dir=journal_dir)
+        kwargs["telemetry"] = hub
+    if journal_dir:
         from .harness.journal import JobJournal
 
-        journal = JobJournal(args.journal_dir)
-        journal.append("sweep", argv=sys.argv[1:])
+        journal = JobJournal(journal_dir)
+        journal.append(
+            "sweep", argv=sys.argv[1:], sweep_id=hub.sweep_id
+        )
         kwargs["journal"] = journal
     if getattr(args, "chaos", None):
         from .faults.chaos import ChaosPlan
@@ -160,9 +174,21 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     return ExperimentEngine(**kwargs)
 
 
-def _print_fleet_summary(engine: ExperimentEngine) -> None:
-    """The per-invocation engine (and chaos) counters, on stderr."""
-    print(engine.stats.summary(), file=sys.stderr)
+def _print_fleet_summary(
+    engine: ExperimentEngine, args: argparse.Namespace
+) -> None:
+    """The per-invocation engine (and chaos) counters, on stderr.
+
+    With a telemetry hub the line is rendered from the fleet gauges —
+    the same numbers `repro fleet status` shows — and with --quiet it is
+    suppressed entirely.
+    """
+    if getattr(args, "quiet", False):
+        return
+    if engine.telemetry is not None:
+        print(engine.telemetry.summary(), file=sys.stderr)
+    else:
+        print(engine.stats.summary(), file=sys.stderr)
     if engine.chaos is not None:
         print(engine.chaos.summary(), file=sys.stderr)
 
@@ -291,8 +317,10 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="TRACE.json",
         default=None,
         help=(
-            "figures that run instrumented simulations (resilience) "
-            "export a Perfetto-loadable Chrome trace here"
+            "export a Perfetto-loadable Chrome trace: the resilience "
+            "figure writes its instrumented single run's event stream; "
+            "every other figure writes the stitched *fleet* trace — "
+            "engine and worker processes on one wall-clock timeline"
         ),
     )
     _add_engine_args(fig)
@@ -352,6 +380,33 @@ def _build_parser() -> argparse.ArgumentParser:
     claims.add_argument("--instructions", type=int, default=None)
     claims.add_argument("--warmup", type=int, default=None)
     _add_engine_args(claims)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="watch or inspect a fleet sweep's live telemetry",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    status = fleet_sub.add_parser(
+        "status",
+        help=(
+            "tail a sweep's telemetry feed (written next to its "
+            "journal): worker occupancy, queue depth, cache hit rate, "
+            "throughput, freshest IPC samples"
+        ),
+    )
+    status.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        required=True,
+        help="the sweep's --journal-dir (telemetry feed lives beside it)",
+    )
+    status.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="re-render every SECONDS until interrupted",
+    )
 
     resume = sub.add_parser(
         "resume-sweep",
@@ -556,20 +611,30 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         kwargs["max_instructions"] = args.instructions
     if args.warmup is not None:
         kwargs["warmup"] = args.warmup
+    fleet_trace = None
     if args.trace_out is not None:
-        if args.figure != "resilience":
-            print(
-                "error: --trace-out is only supported by the "
-                "resilience figure",
-                file=sys.stderr,
-            )
-            return 2
-        kwargs["trace_out"] = args.trace_out
-    engine = _engine_from_args(args)
+        if args.figure == "resilience":
+            # The resilience figure runs one instrumented simulation
+            # in-process and exports its cycle-stamped event stream.
+            kwargs["trace_out"] = args.trace_out
+        else:
+            # Every other figure is a fleet of jobs: export the
+            # stitched cross-process span trace instead.
+            fleet_trace = args.trace_out
+    engine = _engine_from_args(args, want_telemetry=fleet_trace is not None)
     kwargs["engine"] = engine
     result = _FIGURES[args.figure](**kwargs)
     print(result.render())
-    _print_fleet_summary(engine)
+    if fleet_trace is not None and engine.telemetry is not None:
+        count = engine.telemetry.write_trace(
+            fleet_trace, metadata={"figure": args.figure}
+        )
+        if not args.quiet:
+            print(
+                f"wrote {count} fleet trace events to {fleet_trace}",
+                file=sys.stderr,
+            )
+    _print_fleet_summary(engine, args)
     return 0
 
 
@@ -695,7 +760,7 @@ def _cmd_claims(args: argparse.Namespace) -> int:
         fast=args.fast,
     )
     print(render_verdicts(verdicts))
-    _print_fleet_summary(engine)
+    _print_fleet_summary(engine, args)
     return 0 if all(v.ok for v in verdicts) else 1
 
 
@@ -732,7 +797,12 @@ def _cmd_resume_sweep(args: argparse.Namespace) -> int:
         f"journal holds {len(state.jobs)} jobs "
         f"({len(state.jobs) - unfinished} finished, "
         f"{unfinished} unfinished"
-        + (f", {state.skipped} torn records skipped" if state.skipped else "")
+        + (
+            f", {state.skipped} torn records skipped "
+            f"(first at byte {state.first_skipped_offset})"
+            if state.skipped
+            else ""
+        )
         + ")",
         file=sys.stderr,
     )
@@ -759,8 +829,100 @@ def _cmd_resume_sweep(args: argparse.Namespace) -> int:
             "failed": failed,
         },
     ))
-    _print_fleet_summary(engine)
+    _print_fleet_summary(engine, args)
     return 0 if failed == 0 else 1
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .harness.journal import JobJournal
+    from .obs.telemetry import (
+        SUMMARY_GAUGES,
+        format_engine_summary,
+        read_snapshot,
+    )
+
+    def render_once() -> bool:
+        snapshot = read_snapshot(args.journal_dir)
+        try:
+            state = JobJournal(args.journal_dir).recover()
+        except (OSError, ReproError):
+            state = None
+        if snapshot is None and (state is None or not state.jobs):
+            print(
+                "error: no telemetry feed or journal under "
+                f"{args.journal_dir} (start the sweep with "
+                "--journal-dir to produce one)",
+                file=sys.stderr,
+            )
+            return False
+        rows: dict = {}
+        if snapshot is not None:
+            rows["sweep"] = snapshot.get("sweep_id", "?")
+            age = max(0.0, _time.time() - snapshot.get("updated_at", 0.0))
+            rows["feed age"] = f"{age:.1f}s"
+        if state is not None and state.jobs:
+            by_state: dict = {}
+            for record in state.jobs.values():
+                by_state[record.state] = by_state.get(record.state, 0) + 1
+            rows["jobs"] = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(by_state.items())
+            )
+            terminal = sum(
+                by_state.get(s, 0)
+                for s in ("done", "failed", "quarantined")
+            )
+            rows["progress"] = f"{terminal}/{len(state.jobs)} terminal"
+            if state.skipped:
+                rows["journal"] = (
+                    f"{state.skipped} torn record(s) skipped"
+                )
+        if snapshot is not None:
+            gauges = snapshot.get("gauges", {})
+            rows["workers"] = (
+                f"{int(gauges.get('fleet.workers_busy', 0))} busy / "
+                f"{int(gauges.get('fleet.workers_idle', 0))} idle of "
+                f"{int(gauges.get('fleet.workers', 0))}"
+            )
+            rows["queue depth"] = snapshot.get("queue_depth", 0)
+            rows["cache hit rate"] = (
+                f"{gauges.get('fleet.cache_hit_rate', 0.0):.1%}"
+            )
+            rows["throughput"] = (
+                f"{gauges.get('fleet.sim_cycles_per_s', 0.0):,.0f} "
+                "simulated cycles/s"
+            )
+            values = {
+                label: gauges.get(gauge, 0)
+                for label, gauge in SUMMARY_GAUGES
+            }
+            values["spent"] = gauges.get("engine.wall_time_spent_s", 0.0)
+            values["saved"] = gauges.get("engine.wall_time_saved_s", 0.0)
+            rows["engine"] = format_engine_summary(values)
+            samples = snapshot.get("samples_tail") or []
+            if samples:
+                latest = samples[-1]
+                ipc = latest.get("ipc")
+                if isinstance(ipc, (int, float)):
+                    key = str(latest.get("job_key") or "?")[:12]
+                    rows["latest sample"] = f"job {key} IPC={ipc:.3f}"
+        print(render_mapping(
+            f"fleet status: {args.journal_dir}", rows
+        ))
+        return True
+
+    if args.watch is None:
+        return 0 if render_once() else 2
+    try:
+        while True:
+            if not render_once():
+                return 2
+            _time.sleep(max(0.1, args.watch))
+            print()
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -851,6 +1013,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_claims(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "fleet":
+            return _cmd_fleet_status(args)
         if args.command == "resume-sweep":
             return _cmd_resume_sweep(args)
         return _cmd_figure(args)

@@ -51,6 +51,8 @@ from ..errors import CheckpointError, ReproError, WorkerCrashError
 from ..faults.plan import FaultPlan
 from ..logutil import get_logger
 from ..obs import MetricsRegistry, Observer
+from ..obs.spans import SpanRecorder, TraceContext
+from ..obs.telemetry import format_engine_summary
 from .cache import ResultCache
 from .journal import job_key
 from . import runner
@@ -205,6 +207,10 @@ class JobOutcome:
     #: Committed-instruction count of the checkpoint this run resumed
     #: from (None: ran cold or replayed from the result cache).
     resumed_from: Optional[int] = None
+    #: Worker-side telemetry spans (serialised dicts), carried back with
+    #: the pickled outcome on the pool path; None when telemetry is off
+    #: or the worker streamed them live (supervised path).
+    spans: Optional[List[Dict]] = None
 
     @property
     def ok(self) -> bool:
@@ -234,14 +240,21 @@ class EngineStats:
     wall_time_spent_s: float = 0.0
 
     def summary(self) -> str:
-        return (
-            f"engine: run={self.jobs_run} cached={self.jobs_cached} "
-            f"resumed={self.jobs_resumed} failed={self.jobs_failed} "
-            f"reclaimed={self.leases_reclaimed} "
-            f"retried={self.jobs_retried} "
-            f"quarantined={self.jobs_quarantined} "
-            f"spent={self.wall_time_spent_s:.1f}s "
-            f"saved={self.wall_time_saved_s:.1f}s"
+        """One-line fleet summary, through the single shared formatter
+        (:func:`repro.obs.telemetry.format_engine_summary`) so this
+        line and the fleet gauges can never disagree."""
+        return format_engine_summary(
+            {
+                "run": self.jobs_run,
+                "cached": self.jobs_cached,
+                "resumed": self.jobs_resumed,
+                "failed": self.jobs_failed,
+                "reclaimed": self.leases_reclaimed,
+                "retried": self.jobs_retried,
+                "quarantined": self.jobs_quarantined,
+                "spent": self.wall_time_spent_s,
+                "saved": self.wall_time_saved_s,
+            }
         )
 
 
@@ -249,6 +262,8 @@ def _execute_job(
     job: SimJob,
     ckpt_root: Optional[str] = None,
     resume_ok: bool = True,
+    recorder: Optional[SpanRecorder] = None,
+    context: Optional[TraceContext] = None,
 ) -> Tuple[SimulationResult, float, Optional[int]]:
     """Run one job to completion (no isolation).
 
@@ -268,6 +283,11 @@ def _execute_job(
     observer = None
     if job.sample_interval is not None:
         observer = Observer(sample_interval=job.sample_interval)
+        if recorder is not None:
+            # Live windowed IPC/miss-rate: each closed sample window is
+            # forwarded through the recorder (and, supervised, over the
+            # worker pipe) the moment it closes.
+            observer.sample_sink = recorder.sample_sink(context)
     started = time.perf_counter()
     store: Optional[CheckpointStore] = None
     prefix = None
@@ -279,34 +299,79 @@ def _execute_job(
     if store is not None and resume_ok:
         snapshot = store.best(prefix, job.total_budget())
         if snapshot is not None:
+            restore_span = (
+                recorder.begin("checkpoint-restore", context)
+                if recorder is not None
+                else None
+            )
             try:
                 sim = restore_snapshot(snapshot)
             except CheckpointError as exc:
                 _log.debug("checkpoint restore failed, running cold: %s", exc)
+                if restore_span is not None:
+                    recorder.end(restore_span, ok=False)
             else:
                 resumed_from = snapshot.committed
-    if sim is None:
-        sim = runner.Simulation(
-            job.workload,
-            job.config,
-            initial_distance_mode=job.initial_distance_mode,
-            fault_plan=job.fault_plan,
-            observer=observer,
+                if restore_span is not None:
+                    recorder.end(
+                        restore_span, ok=True, committed=snapshot.committed
+                    )
+    ckpt_sink = None
+    if store is not None:
+        if recorder is None:
+            ckpt_sink = lambda s: store.save(prefix, s)  # noqa: E731
+        else:
+            def ckpt_sink(s, _store=store, _prefix=prefix):
+                saved = _store.save(_prefix, s)
+                if saved:
+                    recorder.instant(
+                        "checkpoint-capture",
+                        context,
+                        committed=s.core.stats.committed,
+                    )
+                return saved
+    run_span = None
+    if recorder is not None:
+        run_span = recorder.begin(
+            "run",
+            context,
+            workload=job.workload,
+            policy=job.config.policy.value,
+            budget=job.total_budget(),
+            resumed_from=resumed_from,
         )
-        if store is not None:
-            sim.checkpoint_sink = lambda s: store.save(prefix, s)
-        result = sim.run()
-    else:
-        # The snapshot carries the observer (and its partial sample
-        # series) from the prefix run; only the sink and the cadence —
-        # normalised away at capture — need re-attaching.
-        sim.checkpoint_sink = lambda s: store.save(prefix, s)
-        if job.config.checkpoint_every is not None:
-            sim.config = sim.config.replace(
-                checkpoint_every=job.config.checkpoint_every
+    try:
+        if sim is None:
+            sim = runner.Simulation(
+                job.workload,
+                job.config,
+                initial_distance_mode=job.initial_distance_mode,
+                fault_plan=job.fault_plan,
+                observer=observer,
             )
-        result = sim.resume(job.config.max_instructions)
-    return result, time.perf_counter() - started, resumed_from
+            if ckpt_sink is not None:
+                sim.checkpoint_sink = ckpt_sink
+            result = sim.run()
+        else:
+            # The snapshot carries the observer (and its partial sample
+            # series) from the prefix run; only the sink and the cadence —
+            # normalised away at capture — need re-attaching.
+            if recorder is not None and sim.observer is not None:
+                sim.observer.sample_sink = recorder.sample_sink(context)
+            sim.checkpoint_sink = ckpt_sink
+            if job.config.checkpoint_every is not None:
+                sim.config = sim.config.replace(
+                    checkpoint_every=job.config.checkpoint_every
+                )
+            result = sim.resume(job.config.max_instructions)
+    except BaseException:
+        if run_span is not None:
+            recorder.end(run_span, ok=False)
+        raise
+    elapsed = time.perf_counter() - started
+    if run_span is not None:
+        recorder.end(run_span, ok=True, cycles=result.cycles)
+    return result, elapsed, resumed_from
 
 
 def _error_record(job: SimJob, exc: BaseException, retried: bool) -> Dict:
@@ -324,19 +389,33 @@ def _worker(
     job: SimJob,
     ckpt_root: Optional[str] = None,
     resume_ok: bool = True,
+    recorder: Optional[SpanRecorder] = None,
+    context: Optional[TraceContext] = None,
 ) -> JobOutcome:
     """Pool entry point: isolate failures into records (picklable)."""
+
+    def execute() -> Tuple[SimulationResult, float, Optional[int]]:
+        # The recovery test suite monkeypatches ``_execute_job`` with
+        # legacy three-argument fakes; the telemetry arguments are only
+        # passed when a recorder is live.
+        if recorder is None:
+            return _execute_job(job, ckpt_root, resume_ok)
+        return _execute_job(job, ckpt_root, resume_ok, recorder, context)
+
     try:
-        result, elapsed, resumed = _execute_job(job, ckpt_root, resume_ok)
+        result, elapsed, resumed = execute()
         return JobOutcome(
             result=result, elapsed_s=elapsed, resumed_from=resumed
         )
     except Exception as exc:
         if getattr(exc, "transient", False):
-            try:
-                result, elapsed, resumed = _execute_job(
-                    job, ckpt_root, resume_ok
+            if recorder is not None:
+                recorder.instant(
+                    "retry", context, transient=True,
+                    error=type(exc).__name__,
                 )
+            try:
+                result, elapsed, resumed = execute()
                 return JobOutcome(
                     result=result, elapsed_s=elapsed, resumed_from=resumed
                 )
@@ -371,6 +450,7 @@ def _worker_chain(
     jobs: List[SimJob],
     ckpt_root: Optional[str],
     resume_ok: bool,
+    sweep_id: Optional[str] = None,
 ) -> List[JobOutcome]:
     """Run same-prefix jobs sequentially, ascending by budget.
 
@@ -379,9 +459,22 @@ def _worker_chain(
     for its longest member plus deltas instead of the sum of budgets.
     Submitted to the pool as one unit so the chain's data locality is
     not lost to scheduling.
+
+    With a ``sweep_id`` (telemetry on) each job records its spans into a
+    buffering worker-side recorder and carries them home attached to the
+    pickled outcome — the pool path has no live channel back.
     """
     _maybe_crash_for_test()
-    return [_worker(job, ckpt_root, resume_ok) for job in jobs]
+    if sweep_id is None:
+        return [_worker(job, ckpt_root, resume_ok) for job in jobs]
+    recorder = SpanRecorder(TraceContext(sweep_id), role="worker")
+    outcomes: List[JobOutcome] = []
+    for job in jobs:
+        context = TraceContext(sweep_id, job_key(job.spec()))
+        outcome = _worker(job, ckpt_root, resume_ok, recorder, context)
+        outcome.spans = recorder.drain()
+        outcomes.append(outcome)
+    return outcomes
 
 
 class ExperimentEngine:
@@ -406,10 +499,18 @@ class ExperimentEngine:
         retry=None,
         lease_s: float = 300.0,
         heartbeat_s: float = 1.0,
+        telemetry=None,
     ) -> None:
         if not isinstance(workers, int) or workers < 1:
             raise ReproError(f"workers must be a positive int, got {workers!r}")
         self.workers = workers
+        #: Fleet TelemetryHub, or None (the default: telemetry off, the
+        #: engine pays one ``is not None`` check per lifecycle point).
+        self.telemetry = telemetry
+        if metrics is None and telemetry is not None:
+            # Share one registry so the hub's fleet gauges and the
+            # engine's counters land in the same snapshot.
+            metrics = telemetry.metrics
         self.cache: Optional[ResultCache] = (
             ResultCache() if cache is _DEFAULT_CACHE else cache
         )
@@ -461,6 +562,7 @@ class ExperimentEngine:
                 retry=retry,
                 journal=self.journal,
                 metrics=self.metrics,
+                telemetry=self.telemetry,
             )
 
     # ------------------------------------------------------------------
@@ -479,23 +581,42 @@ class ExperimentEngine:
         """
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
         keys: List[Optional[str]] = [None] * len(jobs)
+        hub = self.telemetry
         jkeys = [job_key(job.spec()) for job in jobs] if (
-            self.journal is not None or self._chaos_plan is not None
+            self.journal is not None
+            or self._chaos_plan is not None
+            or hub is not None
         ) else [None] * len(jobs)
+        if hub is not None:
+            hub.sweep_started(self.workers)
         pending: List[int] = []
         for index, job in enumerate(jobs):
             self._journal_event(
                 "submit", jkeys[index], job=job.to_dict()
             )
+            if hub is not None:
+                hub.job_submitted(jkeys[index])
             key = None
             if self.cache is not None:
                 key = self.cache.key_for(job.spec())
             keys[index] = key
             if key is not None and not self.refresh:
+                probe_started = time.perf_counter()
                 outcome = self._replay(key)
+                if hub is not None:
+                    hub.cache_probe(
+                        jkeys[index],
+                        outcome is not None,
+                        time.perf_counter() - probe_started,
+                    )
                 if outcome is not None:
                     outcomes[index] = outcome
                     self._journal_event("cached", jkeys[index])
+                    if hub is not None:
+                        hub.job_finished(
+                            jkeys[index], ok=True, cached=True,
+                            cycles=outcome.result.cycles,
+                        )
                     continue
             pending.append(index)
 
@@ -511,6 +632,15 @@ class ExperimentEngine:
             if outcome is None or index in committed:
                 return
             committed.add(index)
+            if hub is not None:
+                hub.job_finished(
+                    jkeys[index],
+                    ok=outcome.ok,
+                    cached=outcome.cached,
+                    cycles=outcome.result.cycles if outcome.ok else 0.0,
+                    spans=outcome.spans,
+                )
+                outcome.spans = None
             if outcome.ok and keys[index] is not None:
                 self.cache.put(
                     keys[index],
@@ -534,8 +664,12 @@ class ExperimentEngine:
                 else:
                     for index in pending:
                         self._journal_event("start", jkeys[index])
+                        if hub is not None:
+                            hub.job_scheduled(
+                                jkeys[index], worker="in-process"
+                            )
                         outcomes[index] = self._run_inprocess(
-                            jobs[index], isolate
+                            jobs[index], isolate, jkey=jkeys[index]
                         )
                         commit(index, outcomes[index])
                         self._journal_outcome(
@@ -545,9 +679,14 @@ class ExperimentEngine:
                 # Cancelled or crashed mid-sweep: everything committed
                 # so far is already durable; record the interruption.
                 self._journal_event("interrupted", None)
+                if hub is not None:
+                    hub.instant("interrupted")
+                    hub.flush()
                 raise
 
         self._account(jobs, outcomes, isolate)
+        if hub is not None:
+            hub.flush()
         return outcomes
 
     # ------------------------------------------------------------------
@@ -605,16 +744,29 @@ class ExperimentEngine:
             else None
         )
 
-    def _run_inprocess(self, job: SimJob, isolate: bool) -> JobOutcome:
+    def _run_inprocess(
+        self, job: SimJob, isolate: bool, jkey: Optional[str] = None
+    ) -> JobOutcome:
         resume_ok = not self.refresh
+        recorder = context = None
+        if self.telemetry is not None:
+            # In-process jobs record straight into the hub's own
+            # recorder — same process, no pickling or pipe needed.
+            recorder = self.telemetry.recorder
+            context = self.telemetry.job_context(jkey)
         if not isolate:
-            result, elapsed, resumed = _execute_job(
-                job, self._ckpt_root, resume_ok
-            )
+            if recorder is None:
+                result, elapsed, resumed = _execute_job(
+                    job, self._ckpt_root, resume_ok
+                )
+            else:
+                result, elapsed, resumed = _execute_job(
+                    job, self._ckpt_root, resume_ok, recorder, context
+                )
             return JobOutcome(
                 result=result, elapsed_s=elapsed, resumed_from=resumed
             )
-        return _worker(job, self._ckpt_root, resume_ok)
+        return _worker(job, self._ckpt_root, resume_ok, recorder, context)
 
     def _chains(
         self, jobs: Sequence[SimJob], pending: List[int]
@@ -657,6 +809,8 @@ class ExperimentEngine:
         """
         ckpt_root = self._ckpt_root
         resume_ok = not self.refresh
+        hub = self.telemetry
+        sweep_id = hub.sweep_id if hub is not None else None
         remaining = self._chains(jobs, pending)
         attempts: Dict[Tuple[int, ...], int] = {}
 
@@ -675,11 +829,24 @@ class ExperimentEngine:
                 for chain in remaining:
                     for index in chain:
                         self._journal_event("start", jkeys[index])
-                    futures[pool.submit(
-                        _worker_chain,
+                        if hub is not None:
+                            hub.job_scheduled(
+                                jkeys[index],
+                                attempt=attempts.get(tuple(chain), 0),
+                                worker="pool",
+                            )
+                    # sweep_id is passed only when telemetry is live:
+                    # recovery tests monkeypatch ``_worker_chain`` with
+                    # legacy three-argument fakes.
+                    chain_args = (
                         [jobs[index] for index in chain],
                         ckpt_root,
                         resume_ok,
+                    )
+                    if sweep_id is not None:
+                        chain_args += (sweep_id,)
+                    futures[pool.submit(
+                        _worker_chain, *chain_args
                     )] = tuple(chain)
                 for future in as_completed(futures):
                     chain = futures[future]
@@ -728,13 +895,20 @@ class ExperimentEngine:
                 chain_id = tuple(chain)
                 strikes = attempts.get(chain_id, 0) + 1
                 attempts[chain_id] = strikes
+                quarantining = strikes >= MAX_POOL_ATTEMPTS
                 for index in chain:
                     self._journal_event(
                         "reclaimed", jkeys[index],
                         reason="BrokenProcessPool", attempts=strikes,
                     )
+                    if hub is not None:
+                        hub.job_reclaimed(
+                            jkeys[index], attempt=strikes,
+                            reason="BrokenProcessPool",
+                            retrying=not quarantining,
+                        )
                 self.stats.leases_reclaimed += len(chain)
-                if strikes >= MAX_POOL_ATTEMPTS:
+                if quarantining:
                     exc = WorkerCrashError(
                         f"chain crashed the worker pool {strikes} times"
                     )
@@ -748,6 +922,7 @@ class ExperimentEngine:
                             "quarantined", jkeys[index],
                             error=outcomes[index].error,
                         )
+                        commit(index, outcomes[index])
                     self.stats.jobs_quarantined += len(chain)
                 else:
                     self.stats.jobs_retried += len(chain)

@@ -109,6 +109,9 @@ class JournalState:
     records: int = 0
     #: Lines dropped by the parse/checksum gate (torn or corrupt).
     skipped: int = 0
+    #: Byte offset (into the journal file) of the first dropped line —
+    #: where to look when diagnosing a torn or corrupted log.
+    first_skipped_offset: Optional[int] = None
     interrupted: bool = False
 
     def unfinished(self) -> List[JobRecord]:
@@ -210,24 +213,45 @@ class JobJournal:
         Never raises on content: unparsable or checksum-failing lines
         (torn writes, bit rot) are counted in ``skipped`` and ignored, so
         a truncated log recovers to the longest verified prefix of each
-        job's history.
+        job's history.  Skips are *not* silent: a warning names the byte
+        offset of the first dropped line and the counts, so a torn tail
+        is diagnosable without replaying the recovery by hand.
         """
         state = JournalState()
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
         except OSError:
             return state
-        for line in lines:
-            if not line.strip():
+        offset = 0
+        for raw_line in raw.split(b"\n"):
+            line_start = offset
+            offset += len(raw_line) + 1
+            if not raw_line.strip():
                 continue
-            record = self._verify(line)
+            try:
+                record = self._verify(raw_line.decode("utf-8"))
+            except UnicodeDecodeError:
+                record = None
             if record is None:
                 state.skipped += 1
+                if state.first_skipped_offset is None:
+                    state.first_skipped_offset = line_start
                 continue
             state.records += 1
             state.last_seq = max(state.last_seq, record.get("seq", 0))
             self._apply(state, record)
+        if state.skipped:
+            _log.warning(
+                "journal %s: dropped %d torn or corrupt line(s) "
+                "(first at byte offset %d of %d); recovered %d "
+                "verified record(s)",
+                self.path,
+                state.skipped,
+                state.first_skipped_offset,
+                len(raw),
+                state.records,
+            )
         return state
 
     @staticmethod

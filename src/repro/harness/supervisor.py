@@ -84,6 +84,8 @@ def _child_main(
     tokens: Sequence[Optional[str]],
     heartbeat_s: float,
     hang_s: float,
+    sweep_id: Optional[str] = None,
+    trace: Optional[Sequence] = None,
 ) -> None:
     """Worker entry: run a chain, streaming per-job outcomes.
 
@@ -91,6 +93,12 @@ def _child_main(
     or None); in production runs it is all None.  The heartbeat thread
     is a daemon so a hung main thread still beats — liveness and
     progress are deliberately separate signals (leases own progress).
+
+    With a ``sweep_id`` (telemetry on) every span and interval-sampler
+    window is streamed over the pipe as a ``("tele", None, dict)``
+    message *as it happens*, so a SIGKILL mid-job — the chaos harness's
+    favourite move — cannot lose the telemetry of work already done.
+    ``trace`` carries one ``(job_key, attempt)`` pair per job.
     """
     from .engine import _worker
 
@@ -103,6 +111,24 @@ def _child_main(
             except OSError:
                 return
 
+    recorder = None
+    contexts: List = [None] * len(jobs)
+    if sweep_id is not None:
+        from ..obs.spans import SpanRecorder, TraceContext
+
+        def sink(record, _send=send):
+            _send.send(("tele", None, record))
+
+        recorder = SpanRecorder(
+            TraceContext(sweep_id), role="worker", sink=sink
+        )
+        contexts = [
+            TraceContext(sweep_id, key, attempt)
+            for key, attempt in (trace or [])
+        ]
+        while len(contexts) < len(jobs):
+            contexts.append(TraceContext(sweep_id))
+
     threading.Thread(target=beat, daemon=True).start()
     try:
         for position, (job, token) in enumerate(zip(jobs, tokens)):
@@ -110,7 +136,9 @@ def _child_main(
                 os.kill(os.getpid(), signal.SIGKILL)
             if token == "hang":
                 time.sleep(hang_s)
-            outcome = _worker(job, ckpt_root, resume_ok)
+            outcome = _worker(
+                job, ckpt_root, resume_ok, recorder, contexts[position]
+            )
             if token == "post":
                 os.kill(os.getpid(), signal.SIGKILL)
             send.send(("done", position, outcome))
@@ -169,6 +197,7 @@ class WorkerSupervisor:
         journal=None,
         metrics=None,
         clock: Callable[[], float] = time.monotonic,
+        telemetry=None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.lease_s = float(lease_s)
@@ -176,6 +205,9 @@ class WorkerSupervisor:
         self.retry = retry or RetryPolicy()
         self.journal = journal
         self.metrics = metrics
+        #: Fleet TelemetryHub (or None): workers stream spans/samples
+        #: over their result pipe; the drain loop feeds them to the hub.
+        self.telemetry = telemetry
         self._clock = clock
         self._ctx = get_context()
         self._active: Dict[int, _Handle] = {}
@@ -239,6 +271,7 @@ class WorkerSupervisor:
                 continue
             jobs = unit.jobs[unit.next_index:]
             tokens: List[Optional[str]] = []
+            trace: List = []
             for offset, _job in enumerate(jobs):
                 position = unit.next_index + offset
                 attempt = unit.attempts.get(position, 0)
@@ -249,13 +282,18 @@ class WorkerSupervisor:
                 tokens.append(
                     decision.token() if decision is not None else None
                 )
+                trace.append((unit.keys[position], attempt))
             recv, send = self._ctx.Pipe(duplex=False)
             hang_s = chaos.plan.hang_s if chaos is not None else 0.0
+            sweep_id = (
+                self.telemetry.sweep_id
+                if self.telemetry is not None else None
+            )
             proc = self._ctx.Process(
                 target=_child_main,
                 args=(
                     send, jobs, ckpt_root, resume_ok, tokens,
-                    self.heartbeat_s, hang_s,
+                    self.heartbeat_s, hang_s, sweep_id, trace,
                 ),
                 daemon=True,
             )
@@ -269,6 +307,12 @@ class WorkerSupervisor:
                 lease_deadline=now + self.lease_s, last_beat=now,
             )
             self._journal("start", unit.keys[unit.next_index])
+            if self.telemetry is not None:
+                self.telemetry.job_scheduled(
+                    unit.keys[unit.next_index],
+                    attempt=unit.attempts.get(unit.next_index, 0),
+                    worker=proc.pid,
+                )
 
     # ------------------------------------------------------------------
     def _poll(self, states, queue, on_outcome) -> None:
@@ -318,6 +362,9 @@ class WorkerSupervisor:
                     self._retire(handle)
         if self.metrics is not None:
             self.metrics.gauge("fleet.live_workers").set(len(self._active))
+        if self.telemetry is not None:
+            self.telemetry.workers_busy(len(self._active), self.workers)
+            self.telemetry.maybe_flush()
 
     def _poll_timeout(self, states, queue) -> float:
         now = self._clock()
@@ -341,6 +388,9 @@ class WorkerSupervisor:
             if kind == "beat":
                 handle.last_beat = self._clock()
                 self.heartbeats += 1
+            elif kind == "tele":
+                if self.telemetry is not None:
+                    self.telemetry.ingest(payload)
             elif kind == "done":
                 index = handle.base + position
                 unit.outcomes[index] = payload
@@ -358,6 +408,14 @@ class WorkerSupervisor:
                     )
                 if not unit.done:
                     self._journal("start", unit.keys[unit.next_index])
+                    if self.telemetry is not None:
+                        self.telemetry.job_scheduled(
+                            unit.keys[unit.next_index],
+                            attempt=unit.attempts.get(
+                                unit.next_index, 0
+                            ),
+                            worker=handle.proc.pid,
+                        )
                 if on_outcome is not None:
                     on_outcome(handle.unit_id, index, payload)
             elif kind == "exit":
@@ -402,6 +460,12 @@ class WorkerSupervisor:
             "reclaimed", key,
             reason=type(reason).__name__, attempts=attempts,
         )
+        if self.telemetry is not None:
+            self.telemetry.job_reclaimed(
+                key, attempt=attempts,
+                reason=type(reason).__name__,
+                retrying=attempts < self.retry.max_attempts,
+            )
         if attempts >= self.retry.max_attempts:
             poison = PoisonJobError(
                 f"job {job.workload!r} took down "

@@ -26,14 +26,25 @@ One :class:`Observer` aggregates three views of a run:
 from .events import EventRing, TraceEvent
 from .export import (
     chrome_trace,
+    fleet_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
+    write_fleet_trace,
     write_jsonl,
     write_metrics,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observer import Observer
 from .sampling import IntervalSampler, Sample
+from .spans import Span, SpanRecorder, TraceContext, new_sweep_id
+from .telemetry import (
+    TelemetryHub,
+    fleet_summary,
+    format_engine_summary,
+    prometheus_text,
+    spans_cover_journal,
+    write_prometheus,
+)
 from .timeline import PCTimeline, TimelineCollector
 
 __all__ = [
@@ -46,11 +57,23 @@ __all__ = [
     "Observer",
     "PCTimeline",
     "Sample",
+    "Span",
+    "SpanRecorder",
+    "TelemetryHub",
     "TimelineCollector",
+    "TraceContext",
     "TraceEvent",
     "chrome_trace",
+    "fleet_chrome_trace",
+    "fleet_summary",
+    "format_engine_summary",
+    "new_sweep_id",
+    "prometheus_text",
+    "spans_cover_journal",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_fleet_trace",
     "write_jsonl",
     "write_metrics",
+    "write_prometheus",
 ]

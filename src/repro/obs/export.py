@@ -234,3 +234,146 @@ def write_metrics(snapshot: Dict, path: str) -> None:
     """Write a consolidated metrics/observer snapshot as JSON."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Fleet span traces: stitch engine + N worker processes into one file.
+# ----------------------------------------------------------------------
+#: Spans treated as instants even when they carry a duration (markers).
+_FLEET_INSTANTS = frozenset(
+    {
+        "submit",
+        "schedule",
+        "commit",
+        "reclaim",
+        "retry",
+        "quarantine",
+        "checkpoint-capture",
+        "sample",
+    }
+)
+
+
+def fleet_chrome_trace(
+    spans: Sequence[Dict],
+    metadata: Optional[Dict] = None,
+) -> Dict:
+    """Convert serialised fleet spans into one Chrome trace object.
+
+    Where :func:`chrome_trace` maps one simulation's cycles onto one
+    Perfetto process, this maps the *fleet*: each recording OS process
+    (the engine, every pool/supervised worker) becomes a Perfetto
+    process, and within a process each job gets its own track, numbered
+    in first-seen order by a per-process
+    :class:`~repro.trident.TraceIdAllocator` so two exports of the same
+    run lay out identically.  Wall-clock seconds — the one timebase all
+    processes share — map onto trace microseconds, zeroed at the
+    earliest span.
+    """
+    from ..trident import TraceIdAllocator
+
+    starts = [
+        s.get("start_s", 0.0) for s in spans
+        if isinstance(s.get("start_s"), (int, float))
+    ]
+    t0 = min(starts) if starts else 0.0
+    trace_events: List[Dict] = []
+    #: pid -> role ("engine" lanes sort before workers in the UI).
+    roles: Dict[int, str] = {}
+    #: pid -> (allocator, {job_key or None: tid}).
+    tracks: Dict[int, tuple] = {}
+
+    def track_for(pid: int, job_key) -> int:
+        allocator, by_job = tracks.setdefault(
+            pid, (TraceIdAllocator(), {})
+        )
+        tid = by_job.get(job_key)
+        if tid is None:
+            tid = by_job[job_key] = allocator.next()
+            label = (
+                f"job {job_key[:12]}" if job_key is not None else "sweep"
+            )
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        return tid
+
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        role = span.get("role", "worker")
+        if pid not in roles:
+            roles[pid] = role
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        "name": (
+                            f"repro engine (pid {pid})"
+                            if role == "engine"
+                            else f"repro worker (pid {pid})"
+                        )
+                    },
+                }
+            )
+        tid = track_for(pid, span.get("job_key"))
+        ts = (span.get("start_s", t0) - t0) * 1e6
+        args = dict(span.get("fields") or {})
+        args["job_key"] = span.get("job_key")
+        args["attempt"] = span.get("attempt", 0)
+        name = span.get("name", "span")
+        end_s = span.get("end_s")
+        is_instant = (
+            name in _FLEET_INSTANTS
+            or span.get("type") == "sample"
+            or not isinstance(end_s, (int, float))
+        )
+        if is_instant:
+            trace_events.append(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": max(0.0, (end_s - span["start_s"]) * 1e6),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": metadata or {},
+    }
+
+
+def write_fleet_trace(
+    spans: Sequence[Dict],
+    path: str,
+    metadata: Optional[Dict] = None,
+) -> int:
+    """Write the stitched fleet trace; returns the event count."""
+    payload = fleet_chrome_trace(spans, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(payload["traceEvents"])

@@ -42,6 +42,12 @@ class Observer:
         #: Logical clock for emit sites without a cycle in hand (set by
         #: the helper thread before applying a job's effects).
         self.now: float = 0.0
+        #: Fleet-telemetry seam: when set, each closed interval-sampler
+        #: window is also pushed through this callable (the supervised
+        #: worker streams it over the supervisor pipe so `repro fleet
+        #: status` sees windowed IPC live).  One attribute check per
+        #: emitted event; never touches simulated state.
+        self.sample_sink = None
         self._timeline_kinds = TimelineCollector.KINDS
 
     def emit(self, kind: str, cycle: Optional[float] = None, **fields) -> None:
@@ -55,6 +61,23 @@ class Observer:
         self.ring.append(TraceEvent(cycle, kind, fields))
         if kind in self._timeline_kinds:
             self.timelines.on_event(cycle, kind, fields)
+        elif self.sample_sink is not None and kind == "sample":
+            record = dict(fields)
+            record["cycle"] = cycle
+            self.sample_sink(record)
+
+    def __getstate__(self):
+        """Snapshots never carry the telemetry sink: it is wall-clock
+        -side plumbing (often a closure over a pipe), so excluding it
+        keeps snapshot bytes identical with telemetry on or off and
+        keeps observers picklable."""
+        state = dict(self.__dict__)
+        state["sample_sink"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("sample_sink", None)
 
     def events(self) -> List[TraceEvent]:
         return self.ring.events()

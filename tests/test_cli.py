@@ -51,3 +51,60 @@ class TestCLI:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "42"])
+
+
+class TestFleetTelemetryCLI:
+    ARGS = [
+        "figure", "2", "--workloads", "swim",
+        "--instructions", "8000", "--warmup", "0",
+    ]
+
+    def test_summary_rides_fleet_gauges(self, capsys, tmp_path):
+        code = main(self.ARGS + ["--journal-dir", str(tmp_path / "j")])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "engine: run=" in err
+        assert "cached=" in err and "reclaimed=" in err
+
+    def test_quiet_silences_the_summary(self, capsys, tmp_path):
+        code = main(
+            ["--quiet"]
+            + self.ARGS
+            + ["--journal-dir", str(tmp_path / "j")]
+        )
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
+    def test_figure_trace_out_writes_valid_fleet_trace(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        trace = tmp_path / "fleet.json"
+        code = main(self.ARGS + ["--refresh", "--trace-out", str(trace)])
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["metadata"]["figure"] == "2"
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "run" in names and "commit" in names
+
+    def test_fleet_status_reads_live_feed(self, capsys, tmp_path):
+        journal_dir = tmp_path / "j"
+        assert main(self.ARGS + ["--journal-dir", str(journal_dir)]) == 0
+        capsys.readouterr()
+        code = main(["fleet", "status", "--journal-dir", str(journal_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out
+        assert "jobs" in out
+        assert "engine: run=" in out
+
+    def test_fleet_status_without_feed_errors(self, capsys, tmp_path):
+        code = main(
+            ["fleet", "status", "--journal-dir", str(tmp_path / "empty")]
+        )
+        assert code == 2
+        assert "no telemetry" in capsys.readouterr().err

@@ -14,6 +14,7 @@ from repro.harness.journal import (
     JobJournal,
     job_key,
 )
+from repro.logutil import reset_logging
 
 BUDGET = 2_000
 WARMUP = 200
@@ -146,6 +147,45 @@ class TestCorruptionTolerance:
         state = JobJournal(tmp_path, fsync=False).recover()
         assert state.jobs == {}
         assert state.records == 0
+
+    def test_skip_warning_names_byte_offset_and_counts(
+        self, tmp_path, caplog
+    ):
+        journal = self._populated(tmp_path)
+        raw = journal.path.read_bytes()
+        lines = raw.split(b"\n")
+        # The first torn line starts right after the intact prefix.
+        expected_offset = len(b"\n".join(lines[:2])) + 1
+        lines[2] = lines[2][: len(lines[2]) // 2]
+        journal.path.write_bytes(b"\n".join(lines))
+        # A prior CLI test may have configured the repro logger tree
+        # with propagate=False; restore propagation so caplog sees it.
+        reset_logging()
+        with caplog.at_level("WARNING", logger="repro.journal"):
+            state = JobJournal(tmp_path, fsync=False).recover()
+        assert state.first_skipped_offset == expected_offset
+        messages = [
+            r.getMessage() for r in caplog.records
+            if "torn or corrupt" in r.getMessage()
+        ]
+        assert messages
+        assert "dropped 1 torn or corrupt line(s)" in messages[-1]
+        assert f"first at byte offset {expected_offset}" in messages[-1]
+
+    def test_undecodable_bytes_are_skipped_with_offset(self, tmp_path):
+        journal = self._populated(tmp_path)
+        with open(journal.path, "ab") as fh:
+            fh.write(b"\xff\xfe garbage bytes\n")
+        state = JobJournal(tmp_path, fsync=False).recover()
+        assert state.skipped == 1
+        assert state.first_skipped_offset is not None
+        assert len(state.jobs) == 2
+
+    def test_clean_log_has_no_skip_offset(self, tmp_path):
+        journal = self._populated(tmp_path)
+        state = journal.recover()
+        assert state.skipped == 0
+        assert state.first_skipped_offset is None
 
 
 class TestRotation:

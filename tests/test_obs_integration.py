@@ -246,13 +246,25 @@ class TestCLI:
         ]
         assert records and all("steps" in r for r in records)
 
-    def test_figure_trace_out_rejected_for_non_resilience(self, capsys):
-        from repro.__main__ import main
+    def test_figure_trace_out_exports_fleet_trace(self, capsys, tmp_path):
+        """Non-resilience figures write the stitched *fleet* trace:
+        engine + workers on one timeline (resilience keeps its
+        instrumented single-run trace)."""
+        import json
 
+        from repro.__main__ import main
+        from repro.obs.export import validate_chrome_trace
+
+        trace = tmp_path / "fleet.json"
         assert main([
-            "figure", "5", "--trace-out", "/tmp/nope.json",
+            "figure", "5", "--trace-out", str(trace),
             "--workloads", WORKLOAD, "--instructions", "1000",
-        ]) == 2
+            "--warmup", "0",
+        ]) == 0
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "commit" in names
 
 
 class TestResilienceObservability:
