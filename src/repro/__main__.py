@@ -27,6 +27,7 @@ picks the interrupted sweep back up from its journal.
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 from typing import List, Optional
@@ -217,7 +218,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the benchmark workloads")
 
     run = sub.add_parser("run", help="simulate one workload")
-    run.add_argument("workload", choices=BENCHMARK_NAMES)
+    run.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help=(
+            "a builtin benchmark name, 'scenario:<catalog-name or "
+            "spec.json>', or 'trace:<file.champsim.gz>' (see 'repro "
+            "scenarios'); omit when using --scenario/--trace"
+        ),
+    )
+    run.add_argument(
+        "--scenario",
+        metavar="NAME_OR_FILE",
+        default=None,
+        help=(
+            "simulate a DSL scenario: a catalog name ('repro scenarios "
+            "list') or a ScenarioSpec JSON file"
+        ),
+    )
+    run.add_argument(
+        "--trace",
+        metavar="TRACE.champsim.gz",
+        default=None,
+        help=(
+            "replay a ChampSim-format memory-access trace as the "
+            "workload (gzip'd 64-byte records)"
+        ),
+    )
     run.add_argument(
         "--policy",
         default="self_repairing",
@@ -308,7 +336,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument(
         "--workloads",
         default=None,
-        help="comma-separated subset (default: all 14)",
+        help=(
+            "comma-separated subset (default: all 14); entries may be "
+            "builtin names, 'scenario:<name-or-file>', or "
+            "'trace:<file>' references"
+        ),
     )
     fig.add_argument("--instructions", type=int, default=None)
     fig.add_argument("--warmup", type=int, default=None)
@@ -362,6 +394,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--policy",
         default="self_repairing",
         choices=[p.value for p in PrefetchPolicy],
+    )
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="list, inspect, or generate DSL workload scenarios",
+    )
+    scen_sub = scen.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser(
+        "list", help="the curated scenario catalog"
+    )
+    scen_show = scen_sub.add_parser(
+        "show", help="print a scenario's JSON spec"
+    )
+    scen_show.add_argument(
+        "scenario",
+        help="a catalog name or a ScenarioSpec JSON file",
+    )
+    scen_gen = scen_sub.add_parser(
+        "generate",
+        help=(
+            "deterministically generate random-but-valid scenario "
+            "specs from a seed (the fuzzer's generator)"
+        ),
+    )
+    scen_gen.add_argument("--seed", type=int, default=1)
+    scen_gen.add_argument(
+        "--count", type=int, default=1, metavar="N",
+        help="generate N specs (seeds seed, seed+1, ...)",
+    )
+    scen_gen.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write each spec to DIR/<name>.json instead of stdout "
+            "(runnable via 'run --scenario DIR/<name>.json')"
+        ),
     )
 
     compare = sub.add_parser(
@@ -455,6 +524,21 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    given = sum(
+        1 for source in (args.workload, args.scenario, args.trace) if source
+    )
+    if given != 1:
+        print(
+            "error: give exactly one workload source — a positional "
+            "name/reference, --scenario, or --trace",
+            file=sys.stderr,
+        )
+        return 2
+    ref = args.workload
+    if args.scenario:
+        ref = f"scenario:{args.scenario}"
+    elif args.trace:
+        ref = f"trace:{args.trace}"
     fault_plan = None
     if args.inject:
         fault_plan = FaultPlan.load(args.inject)
@@ -482,10 +566,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"error: cannot read snapshot: {exc}", file=sys.stderr)
             return 2
         sim = restore(snapshot)
-        if sim.workload.name != args.workload:
+        expected = ref
+        if ":" in ref:
+            from .scenarios import resolve_job_source
+
+            expected = resolve_job_source(ref)[0]
+        if sim.workload.name != expected:
             print(
                 f"error: snapshot holds workload "
-                f"{sim.workload.name!r}, not {args.workload!r}",
+                f"{sim.workload.name!r}, not {expected!r}",
                 file=sys.stderr,
             )
             return 2
@@ -499,9 +588,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Trace/metrics export needs the live observer object, which a
         # cached replay or pool worker cannot provide: run in-process,
         # bypassing the engine (identical results either way).
+        workload_arg = ref
+        if ":" in ref:
+            # External sources become Workload objects here: the
+            # in-process export path bypasses the engine, so the job
+            # fields never exist to be materialized downstream.
+            from .scenarios import materialize_workload, resolve_job_source
+
+            name, scenario, trace = resolve_job_source(ref)
+            workload_arg = materialize_workload(scenario, trace, args.seed)
         observer = Observer(sample_interval=args.sample_interval)
         result = run_simulation(
-            args.workload,
+            workload_arg,
             policy=PrefetchPolicy(args.policy),
             max_instructions=args.instructions,
             warmup_instructions=args.warmup,
@@ -512,11 +610,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             observer=observer,
             fast=args.fast,
         )
-        _export_observer(observer, args, workload=args.workload)
+        _export_observer(observer, args, workload=result.workload)
     else:
         engine = _engine_from_args(args)
         job = make_job(
-            args.workload,
+            ref,
             policy=PrefetchPolicy(args.policy),
             max_instructions=args.instructions,
             warmup_instructions=args.warmup,
@@ -712,6 +810,44 @@ def _cmd_traces(args: argparse.Namespace) -> int:
                 f"{' (mature)' if record.mature else ''}"
             )
         print()
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .scenarios import CATALOG, generate_scenario, resolve_scenario
+
+    if args.scenarios_command == "list":
+        for name, spec in CATALOG.items():
+            phases = len(spec.phases)
+            prims = sum(len(p.primitives) for p in spec.phases)
+            print(
+                f"{name:12s} [{phases} phase(s), {prims} primitive(s)] "
+                f"{spec.description}"
+            )
+        print(
+            "\nrun one with: repro run --scenario <name> "
+            "(or scenario:<name> anywhere a workload is accepted)"
+        )
+        return 0
+    if args.scenarios_command == "show":
+        spec = resolve_scenario(args.scenario)
+        print(json.dumps(spec.to_dict(), indent=1, sort_keys=True))
+        return 0
+    # generate
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for offset in range(max(1, args.count)):
+        spec = generate_scenario(args.seed + offset)
+        if out_dir is None:
+            print(json.dumps(spec.to_dict(), indent=1, sort_keys=True))
+        else:
+            path = out_dir / f"{spec.name}.json"
+            spec.save(path)
+            print(path)
     return 0
 
 
@@ -1007,6 +1143,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_timeline(args)
         if args.command == "traces":
             return _cmd_traces(args)
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "claims":
@@ -1035,6 +1173,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         # report them cleanly instead of dumping a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away (`repro … | head`); exit with the
+        # conventional SIGPIPE code, and point stdout at devnull so the
+        # interpreter's shutdown flush cannot raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + signal.SIGPIPE
     finally:
         restore_signals()
 

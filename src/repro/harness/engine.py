@@ -86,6 +86,11 @@ class SimJob:
     #: result payload.
     sample_interval: Optional[int] = None
     group: str = ""
+    #: Serialised ScenarioSpec when this job's workload is a DSL
+    #: scenario (``workload`` then holds the scenario's name).
+    scenario: Optional[Dict] = None
+    #: Serialised TraceSpec when this job replays an external trace.
+    trace: Optional[Dict] = None
 
     def spec(self) -> Dict:
         """The canonical JSON-able description hashed into the cache key.
@@ -94,10 +99,15 @@ class SimJob:
         the run *pauses to look*, never what it computes (chunked
         ``SMTCore.run`` calls are bit-identical to one call), so two jobs
         differing only in cadence must share one cache entry.
+
+        Scenario/trace sources appear only when present, so builtin
+        jobs keep their historical spec (cache entries, journal keys,
+        and checkpoint prefixes all survive this field's addition).
+        The trace's ``path`` is dropped: identity is the content hash.
         """
         config = _jsonify(dataclasses.asdict(self.config))
         config.pop("checkpoint_every", None)
-        return {
+        payload = {
             "workload": self.workload,
             "config": config,
             "initial_distance_mode": self.initial_distance_mode,
@@ -106,6 +116,22 @@ class SimJob:
             ),
             "sample_interval": self.sample_interval,
         }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
+        if self.trace is not None:
+            payload["trace"] = {
+                k: v for k, v in self.trace.items() if k != "path"
+            }
+        return payload
+
+    @property
+    def source(self) -> str:
+        """Where the workload comes from: builtin, scenario, or trace."""
+        if self.scenario is not None:
+            return "scenario"
+        if self.trace is not None:
+            return "trace"
+        return "builtin"
 
     def total_budget(self) -> int:
         """Warmup + measured instructions (the resume-ordering key)."""
@@ -119,6 +145,9 @@ class SimJob:
         payload = self.spec()
         payload["group"] = self.group
         payload["checkpoint_every"] = self.config.checkpoint_every
+        if self.trace is not None:
+            # Workers need the path; spec() deliberately dropped it.
+            payload["trace"] = dict(self.trace)
         return payload
 
     @staticmethod
@@ -140,6 +169,8 @@ class SimJob:
             ),
             sample_interval=raw.get("sample_interval"),
             group=raw.get("group", ""),
+            scenario=raw.get("scenario"),
+            trace=raw.get("trace"),
         )
 
 
@@ -155,7 +186,7 @@ def _jsonify(value):
 
 
 def make_job(
-    workload: str,
+    workload,
     policy: PrefetchPolicy = PrefetchPolicy.SELF_REPAIRING,
     machine: Optional[MachineConfig] = None,
     trident: Optional[TridentConfig] = None,
@@ -172,7 +203,24 @@ def make_job(
     checkpoint_every: Optional[int] = None,
     group: str = "",
 ) -> SimJob:
-    """Build a :class:`SimJob` with ``run_simulation``'s signature."""
+    """Build a :class:`SimJob` with ``run_simulation``'s signature.
+
+    ``workload`` accepts a builtin benchmark name, a ``scenario:<name
+    or file>`` / ``trace:<file>`` reference, or a ScenarioSpec /
+    TraceSpec object — external sources are normalised into the job's
+    ``scenario``/``trace`` fields here, once, so everything downstream
+    (cache, journal, checkpoints, workers) sees plain data.
+    """
+    scenario = trace = None
+    if not isinstance(workload, str) or ":" in workload:
+        from ..scenarios import resolve_job_source
+
+        ref = workload if isinstance(workload, str) else None
+        workload, scenario, trace = resolve_job_source(workload)
+        if not group and ref is not None:
+            # Figures group/look up rows by the reference string they
+            # were handed; keep that identity as the isolation group.
+            group = ref
     config = SimulationConfig(
         machine=machine or MachineConfig(),
         trident=trident or TridentConfig(),
@@ -193,6 +241,8 @@ def make_job(
         fault_plan=fault_plan,
         sample_interval=sample_interval,
         group=group,
+        scenario=scenario,
+        trace=trace,
     )
 
 
@@ -339,11 +389,23 @@ def _execute_job(
             policy=job.config.policy.value,
             budget=job.total_budget(),
             resumed_from=resumed_from,
+            source=job.source,
         )
     try:
         if sim is None:
+            workload = job.workload
+            if job.scenario is not None or job.trace is not None:
+                # External sources travel as data on the job; the
+                # runnable Workload is rebuilt here, in whatever
+                # process executes the job (Simulation accepts the
+                # object in place of a registry name).
+                from ..scenarios import materialize_workload
+
+                workload = materialize_workload(
+                    job.scenario, job.trace, job.config.seed
+                )
             sim = runner.Simulation(
-                job.workload,
+                workload,
                 job.config,
                 initial_distance_mode=job.initial_distance_mode,
                 fault_plan=job.fault_plan,

@@ -448,6 +448,54 @@ def spans_cover_journal(spans: Sequence[Dict], state) -> List[str]:
     return problems
 
 
+def workload_provenance_problems(
+    spans: Sequence[Dict], state
+) -> List[str]:
+    """Check that externally-sourced jobs declare their provenance.
+
+    Companion to :func:`spans_cover_journal`: for every journalled job
+    whose submitted spec carries a ``scenario``/``trace`` source, each
+    of its ``run`` spans must say so (``source`` + ``workload`` fields)
+    — a scenario result that cannot be traced back to its generating
+    spec is unreproducible.  Builtin jobs must claim ``builtin`` (or
+    predate the field).  Returns problems; empty means full provenance.
+    """
+    by_key: Dict[str, List[Dict]] = {}
+    for span in spans:
+        key = span.get("job_key")
+        if key is not None and span.get("name") == "run":
+            by_key.setdefault(key, []).append(span)
+    problems: List[str] = []
+    for key, job in state.jobs.items():
+        submitted = job.job or {}
+        if submitted.get("scenario") is not None:
+            expected = "scenario"
+        elif submitted.get("trace") is not None:
+            expected = "trace"
+        else:
+            expected = "builtin"
+        short = key[:12]
+        for span in by_key.get(key, []):
+            fields = span.get("fields") or {}
+            source = fields.get("source")
+            if expected != "builtin" and source != expected:
+                problems.append(
+                    f"job {short}: {expected}-sourced but its run span "
+                    f"says source={source!r}"
+                )
+            elif expected == "builtin" and source not in (None, "builtin"):
+                problems.append(
+                    f"job {short}: builtin workload but its run span "
+                    f"says source={source!r}"
+                )
+            if expected != "builtin" and not fields.get("workload"):
+                problems.append(
+                    f"job {short}: {expected}-sourced run span is "
+                    "missing its workload name"
+                )
+    return problems
+
+
 # ----------------------------------------------------------------------
 # Live-feed readers (the `repro fleet status` side).
 # ----------------------------------------------------------------------

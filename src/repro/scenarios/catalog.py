@@ -1,0 +1,139 @@
+"""Named, curated scenarios shipped with the repo.
+
+Four compositions chosen to stress distinct DLT behaviours beyond the
+paper's 14 fixed benchmarks — each is a golden-fixture subject, so their
+specs are part of the repo's reproducibility surface: edit one and
+``tools/update_golden.py`` must be re-run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .dsl import Phase, Primitive, ScenarioSpec
+
+
+def _build_catalog() -> Dict[str, ScenarioSpec]:
+    specs: List[ScenarioSpec] = [
+        # Phase change between two strides: the DLT's distance tuned for
+        # phase A is wrong for phase B — repair has to re-converge each
+        # time the working pattern flips.
+        ScenarioSpec(
+            name="stride-flip",
+            repeats=100_000,
+            description=(
+                "alternating dense/sparse strided phases; stresses "
+                "distance re-repair across phase boundaries"
+            ),
+            phases=[
+                Phase(
+                    repeats=2,
+                    primitives=[
+                        Primitive("stride", {
+                            "iters": 384, "stride": 1, "loads": 2,
+                        }),
+                    ],
+                ),
+                Phase(
+                    repeats=2,
+                    primitives=[
+                        Primitive("stride", {
+                            "iters": 384, "stride": 16, "loads": 1,
+                        }),
+                    ],
+                ),
+            ],
+        ),
+        # Irregular hash probing interleaved with a same-object field
+        # walk: the hash load never classifies, the field group should.
+        ScenarioSpec(
+            name="hash-churn",
+            repeats=100_000,
+            description=(
+                "multiplicative hash-walk probes against a same-object "
+                "field walk; irregular loads beside same-object locality"
+            ),
+            phases=[
+                Phase(
+                    repeats=1,
+                    primitives=[
+                        Primitive("hash_walk", {
+                            "iters": 256, "table_words": 1 << 15,
+                        }),
+                        Primitive("same_object", {
+                            "iters": 256, "nodes": 1024,
+                            "node_words": 8, "layout": "scramble",
+                        }),
+                    ],
+                ),
+            ],
+        ),
+        # A footprint ramp feeding a bump-allocated pointer chase: the
+        # growing stream evicts the chase's working set at each step.
+        ScenarioSpec(
+            name="ramp-chase",
+            repeats=100_000,
+            description=(
+                "doubling footprint ramp beside a sequential-layout "
+                "pointer chase; cache pressure against a stride-"
+                "predictable chase"
+            ),
+            phases=[
+                Phase(
+                    repeats=1,
+                    primitives=[
+                        Primitive("footprint_ramp", {
+                            "steps": 4, "start_words": 1024,
+                            "stride": 8, "iters": 192,
+                        }),
+                        Primitive("pointer_chase", {
+                            "iters": 256, "nodes": 2048,
+                            "node_words": 8, "layout": "seq",
+                            "field_loads": 1,
+                        }),
+                    ],
+                ),
+            ],
+        ),
+        # Segmented chase with heavy per-node field traffic: mcf-like
+        # stride-with-breaks next to pure same-object access.
+        ScenarioSpec(
+            name="object-walk",
+            repeats=100_000,
+            description=(
+                "segment-layout pointer chase with per-node field "
+                "loads, then a same-object sweep of the same arena "
+                "geometry"
+            ),
+            phases=[
+                Phase(
+                    repeats=1,
+                    primitives=[
+                        Primitive("pointer_chase", {
+                            "iters": 320, "nodes": 4096,
+                            "node_words": 8, "layout": "segment",
+                            "field_loads": 2,
+                        }),
+                    ],
+                ),
+                Phase(
+                    repeats=1,
+                    primitives=[
+                        Primitive("same_object", {
+                            "iters": 320, "nodes": 4096,
+                            "node_words": 8, "layout": "segment",
+                        }),
+                    ],
+                ),
+            ],
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: Name -> spec for every curated scenario.
+CATALOG: Dict[str, ScenarioSpec] = _build_catalog()
+
+#: Catalog order, fixed (dicts preserve insertion order; this is the
+#: golden-fixture and CLI listing order).
+CATALOG_NAMES = tuple(CATALOG)

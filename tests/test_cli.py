@@ -44,9 +44,12 @@ class TestCLI:
         assert "Figure 2" in out
         assert "swim" in out
 
-    def test_unknown_workload_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["run", "nonesuch"])
+    def test_unknown_workload_rejected(self, capsys):
+        # Free-form refs (scenario:/trace:) mean the parser cannot use
+        # choices=; unknown names fail as a clean ConfigError exit.
+        assert main(["run", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'nonesuch'" in err
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):

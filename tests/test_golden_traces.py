@@ -40,7 +40,7 @@ from repro.harness.runner import run_simulation  # noqa: E402
 
 CELLS = [
     (workload, policy)
-    for workload in ug.BENCHMARK_NAMES
+    for workload in ug.ALL_WORKLOADS
     for policy in ug.POLICIES
 ]
 
@@ -80,7 +80,7 @@ def _load_fixture(workload, policy) -> dict:
 
 def _recompute(spec: dict, fast: bool) -> dict:
     result = run_simulation(
-        spec["workload"],
+        ug.workload_arg(spec["workload"], spec["seed"]),
         policy=spec["policy"],
         max_instructions=spec["max_instructions"],
         warmup_instructions=spec["warmup_instructions"],

@@ -1,0 +1,367 @@
+"""ChampSim trace frontend: decode, lowering, and engine integration.
+
+The trace path is fed by files we do not control, so the edge cases are
+the contract: corrupt or truncated gzip, a final partial record, an
+empty trace, PCs and addresses at the top of the 64-bit space, and
+traces far longer than the simulation budget must all end in a clean
+:class:`ConfigError` or a clamped run — never a stall or a stack trace
+from ``struct``.  On top, the lowered workload must behave as a
+first-class citizen of the engine: content-addressed caching, checkpoint
+resume, and fast/slow interpreter identity.
+"""
+
+from __future__ import annotations
+
+import gzip
+import random
+
+import pytest
+
+from repro.config import PrefetchPolicy, SimulationConfig
+from repro.errors import ConfigError
+from repro.harness.engine import ExperimentEngine, SimJob, make_job
+from repro.harness.runner import Simulation
+from repro.scenarios.trace import (
+    RECORD,
+    RECORD_SIZE,
+    TRACE_BASE,
+    TraceSpec,
+    find_period,
+    lower_trace,
+    map_address,
+    read_trace,
+    split_blocks,
+)
+
+
+def record(ip, is_branch=0, taken=0, loads=(), stores=()):
+    loads = tuple(loads) + (0,) * (4 - len(loads))
+    stores = tuple(stores) + (0,) * (2 - len(stores))
+    return RECORD.pack(
+        ip, is_branch, taken, 0, 0, 0, 0, 0, 0, *stores, *loads
+    )
+
+
+def write_trace(path, payload: bytes):
+    with gzip.open(path, "wb") as fh:
+        fh.write(payload)
+    return str(path)
+
+
+def loop_payload(iters=40, body=3):
+    out = []
+    for i in range(iters):
+        out.append(record(0x1000, loads=(0x5000_0000 + i * 64,)))
+        if body >= 3:
+            out.append(record(0x1008, loads=(0x6000_0000 + i * 8,)))
+        out.append(record(0x1010, is_branch=1, taken=1))
+    return b"".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Reader edge cases.
+# ---------------------------------------------------------------------------
+
+
+class TestReader:
+    def test_reads_records(self, tmp_path):
+        path = write_trace(tmp_path / "t.gz", loop_payload(10))
+        records = read_trace(path)
+        assert len(records) == 30
+        assert records[0].loads == (0x5000_0000,)
+        assert records[2].is_branch and records[2].taken
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            read_trace(tmp_path / "absent.gz")
+
+    def test_not_gzip(self, tmp_path):
+        path = tmp_path / "plain.gz"
+        path.write_bytes(b"this is not a gzip stream at all........")
+        with pytest.raises(ConfigError, match="cannot read"):
+            read_trace(path)
+
+    def test_corrupt_gzip_body(self, tmp_path):
+        path = tmp_path / "corrupt.gz"
+        good = gzip.compress(loop_payload(20))
+        path.write_bytes(good[: len(good) // 2] + b"\x00" * 8)
+        with pytest.raises(ConfigError, match="cannot read"):
+            read_trace(path)
+
+    def test_truncated_final_record(self, tmp_path):
+        payload = loop_payload(5) + record(0x1000)[: RECORD_SIZE // 2]
+        path = write_trace(tmp_path / "trunc.gz", payload)
+        with pytest.raises(ConfigError, match="truncated"):
+            read_trace(path)
+
+    def test_zero_length_trace(self, tmp_path):
+        path = write_trace(tmp_path / "empty.gz", b"")
+        with pytest.raises(ConfigError, match="no records"):
+            read_trace(path)
+
+    def test_limit_clamps_not_errors(self, tmp_path):
+        path = write_trace(tmp_path / "long.gz", loop_payload(100))
+        assert len(read_trace(path, limit=7)) == 7
+
+    def test_limit_validated(self, tmp_path):
+        path = write_trace(tmp_path / "t.gz", loop_payload(2))
+        with pytest.raises(ConfigError, match="limit"):
+            read_trace(path, limit=0)
+
+    def test_pc_and_address_wraparound(self, tmp_path):
+        """PCs and addresses at the very top of u64 decode and lower
+        cleanly; mapped addresses stay inside the trace window."""
+        top = (1 << 64) - 8
+        payload = b"".join(
+            record(top, loads=(top,)) for _ in range(3)
+        ) + record(top - 8, is_branch=1, taken=1)
+        path = write_trace(tmp_path / "wrap.gz", payload)
+        records = read_trace(path)
+        assert records[0].ip == top
+        workload = lower_trace(records, "wrap")
+        mapped = map_address(top)
+        assert mapped >= TRACE_BASE
+        assert mapped < TRACE_BASE + (1 << 32)
+        result = Simulation(
+            workload,
+            SimulationConfig(
+                policy=PrefetchPolicy.BASIC, max_instructions=100
+            ),
+        ).run()
+        assert result.instructions > 0
+
+
+# ---------------------------------------------------------------------------
+# Block structure / periodicity.
+# ---------------------------------------------------------------------------
+
+
+class TestLowering:
+    def test_find_period(self):
+        assert find_period([("a",), ("a",), ("a",)]) == 1
+        assert find_period([("a",), ("b",), ("a",), ("b",)]) == 2
+        assert find_period([("a",), ("b",), ("c",)]) is None
+        assert find_period([("a",)]) is None
+
+    def test_split_blocks_keeps_tail(self):
+        records = read_records = [
+            # two branch-terminated blocks plus a dangling tail
+        ]
+        del read_records
+        from repro.scenarios.trace import TraceRecord
+
+        mk = lambda ip, br=False: TraceRecord(ip, br, br, (), ())  # noqa: E731
+        blocks = split_blocks(
+            [mk(1), mk(2, True), mk(1), mk(2, True), mk(9)]
+        )
+        assert [len(b) for b in blocks] == [2, 2, 1]
+
+    def test_periodic_trace_forms_loop(self, tmp_path):
+        path = write_trace(tmp_path / "loop.gz", loop_payload(50))
+        workload = lower_trace(read_trace(path), "loopy")
+        assert "periodic" in workload.description
+        # A real loop: the budget clamps a long trace instead of the
+        # program ending early (graceful clamp, not stall).
+        result = Simulation(
+            workload,
+            SimulationConfig(
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                max_instructions=200,
+                wall_time_limit=60.0,
+            ),
+        ).run()
+        assert result.instructions == 200
+
+    def test_ragged_references_dropped_not_fatal(self, tmp_path):
+        """Occurrences of one static load with differing reference
+        counts across iterations lower cleanly (extras dropped)."""
+        out = []
+        for i in range(6):
+            loads = (0x5000_0000 + i * 64,)
+            if i % 2:
+                loads += (0x7000_0000 + i * 8,)
+            out.append(record(0x1000, loads=loads))
+            out.append(record(0x1010, is_branch=1, taken=1))
+        path = write_trace(tmp_path / "ragged.gz", b"".join(out))
+        workload = lower_trace(read_trace(path), "ragged")
+        assert "dropped" in workload.description
+        Simulation(
+            workload,
+            SimulationConfig(
+                policy=PrefetchPolicy.BASIC, max_instructions=100
+            ),
+        ).run()
+
+    def test_aperiodic_trace_is_straight_line(self, tmp_path):
+        rng = random.Random(3)
+        payload = b"".join(
+            record(0x1000 + i * 8, loads=(rng.randrange(1 << 40),))
+            for i in range(30)
+        )
+        path = write_trace(tmp_path / "ap.gz", payload)
+        workload = lower_trace(read_trace(path), "aper")
+        assert "straight-line" in workload.description
+        # Shorter than the budget: the program halts early, cleanly.
+        result = Simulation(
+            workload,
+            SimulationConfig(
+                policy=PrefetchPolicy.BASIC, max_instructions=5_000
+            ),
+        ).run()
+        assert 0 < result.instructions < 5_000
+
+    def test_stores_replayed(self, tmp_path):
+        payload = b"".join(
+            record(0x1000, stores=(0x5000_0000 + i * 64,))
+            for i in range(8)
+        )
+        path = write_trace(tmp_path / "st.gz", payload)
+        workload = lower_trace(read_trace(path), "stores")
+        result = Simulation(
+            workload,
+            SimulationConfig(
+                policy=PrefetchPolicy.BASIC, max_instructions=100
+            ),
+        ).run()
+        assert result.instructions > 0
+
+
+# ---------------------------------------------------------------------------
+# TraceSpec: identity and guard rails.
+# ---------------------------------------------------------------------------
+
+
+class TestTraceSpec:
+    def test_for_file_derives_name(self, tmp_path):
+        path = write_trace(
+            tmp_path / "My.Trace-01.champsim.gz", loop_payload(4)
+        )
+        spec = TraceSpec.for_file(path)
+        assert spec.name == "my-trace-01"
+
+    def test_builtin_collision_rejected(self, tmp_path):
+        path = write_trace(tmp_path / "mcf.champsim.gz", loop_payload(4))
+        with pytest.raises(ConfigError, match="collides"):
+            TraceSpec.for_file(path)
+
+    def test_spec_dict_excludes_path(self, tmp_path):
+        path = write_trace(tmp_path / "t.gz", loop_payload(4))
+        spec = TraceSpec.for_file(path)
+        assert "path" not in spec.spec_dict()
+        assert spec.to_dict()["path"] == str(path)
+
+    def test_same_content_same_identity(self, tmp_path):
+        a = write_trace(tmp_path / "a.gz", loop_payload(6))
+        b = write_trace(tmp_path / "b.gz", loop_payload(6))
+        sa = TraceSpec.for_file(a, name="same")
+        sb = TraceSpec.for_file(b, name="same")
+        assert sa.spec_dict() == sb.spec_dict()
+
+    def test_edited_file_detected_at_build(self, tmp_path):
+        path = write_trace(tmp_path / "t.gz", loop_payload(6))
+        spec = TraceSpec.for_file(path)
+        write_trace(path, loop_payload(7))
+        with pytest.raises(ConfigError, match="changed since"):
+            spec.build()
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: cache, checkpoints, interpreters.
+# ---------------------------------------------------------------------------
+
+
+def _engine(tmp_path):
+    from repro.harness.cache import ResultCache
+
+    return ExperimentEngine(cache=ResultCache(tmp_path / "cache"))
+
+
+class TestEngineIntegration:
+    def test_cache_and_checkpoint_reuse(self, tmp_path):
+        """The acceptance path: a trace job caches, replays, and seeds
+        a longer budget through the checkpoint store."""
+        path = write_trace(tmp_path / "t.champsim.gz", loop_payload(400))
+        ref = f"trace:{path}"
+
+        engine = _engine(tmp_path)
+        job = make_job(ref, max_instructions=1_000)
+        first = engine.run([job], isolate=False)[0]
+        assert not first.cached
+
+        again = engine.run([job], isolate=False)[0]
+        assert again.cached
+        assert again.result.to_dict() == first.result.to_dict()
+
+        longer = make_job(ref, max_instructions=2_000)
+        resumed = engine.run([longer], isolate=False)[0]
+        assert resumed.resumed_from is not None
+
+        # Resume must equal cold: a fresh engine with no stores.
+        cold = ExperimentEngine(cache=None, checkpoints=None).run(
+            [longer], isolate=False
+        )[0]
+        assert (
+            resumed.result.to_dict() == cold.result.to_dict()
+        ), "trace job resume-vs-cold divergence"
+
+    def test_pool_worker_rebuilds_trace(self, tmp_path):
+        path = write_trace(tmp_path / "t.gz", loop_payload(100))
+        jobs = [
+            make_job(f"trace:{path}", max_instructions=500),
+            make_job(f"trace:{path}", max_instructions=800),
+            make_job("mcf", max_instructions=500),
+        ]
+        pooled = ExperimentEngine(
+            workers=2, cache=None, checkpoints=None
+        ).run(jobs)
+        serial = ExperimentEngine(cache=None, checkpoints=None).run(jobs)
+        for p, s in zip(pooled, serial):
+            assert p.ok and s.ok
+            assert p.result.to_dict() == s.result.to_dict()
+
+    def test_fast_slow_identity(self, tmp_path):
+        path = write_trace(tmp_path / "t.gz", loop_payload(300))
+        spec = TraceSpec.for_file(path)
+        payloads = []
+        for fast in (True, False):
+            result = Simulation(
+                spec.build(),
+                SimulationConfig(
+                    policy=PrefetchPolicy.SELF_REPAIRING,
+                    max_instructions=1_500,
+                    warmup_instructions=300,
+                    fast=fast,
+                ),
+            ).run()
+            payloads.append(result.to_dict())
+        assert payloads[0] == payloads[1]
+
+    def test_job_round_trips_through_journal_dict(self, tmp_path):
+        path = write_trace(tmp_path / "t.gz", loop_payload(20))
+        job = make_job(f"trace:{path}", max_instructions=500)
+        rebuilt = SimJob.from_dict(job.to_dict())
+        assert rebuilt.trace == job.trace
+        assert rebuilt.spec() == job.spec()
+        assert rebuilt.source == "trace"
+
+    def test_sample_trace_fixture_replays(self):
+        """The checked-in sample trace is readable and periodic."""
+        import pathlib
+
+        sample = (
+            pathlib.Path(__file__).parent.parent
+            / "examples" / "traces" / "sample_loop.champsim.gz"
+        )
+        assert sample.exists(), "examples/traces sample trace missing"
+        spec = TraceSpec.for_file(sample)
+        assert spec.name == "sample_loop"
+        workload = spec.build()
+        assert "periodic" in workload.description
+        result = Simulation(
+            workload,
+            SimulationConfig(
+                policy=PrefetchPolicy.SELF_REPAIRING,
+                max_instructions=1_000,
+            ),
+        ).run()
+        assert result.instructions == 1_000

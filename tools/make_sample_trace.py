@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in sample ChampSim trace.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_sample_trace.py [OUT.champsim.gz]
+
+Writes ``examples/traces/sample_loop.champsim.gz`` by default: a
+deterministic 3-instruction loop traced for 600 iterations — one dense
+strided load (the prefetchable stream), one irregular load over a 1 MiB
+window (the delinquent load a repairing prefetcher has to live with),
+and the loop's taken backward branch.  Byte-stable across runs (fixed
+seed, fixed mtime in the gzip header) so the file can live in git and
+in golden job specs.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pathlib
+import random
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.scenarios.trace import RECORD  # noqa: E402
+
+DEFAULT_OUT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "examples" / "traces" / "sample_loop.champsim.gz"
+)
+
+ITERATIONS = 600
+LOOP_HEAD = 0x0040_1000
+
+
+def record(ip, is_branch=0, taken=0, loads=(), stores=()):
+    loads = tuple(loads) + (0,) * (4 - len(loads))
+    stores = tuple(stores) + (0,) * (2 - len(stores))
+    return RECORD.pack(
+        ip, is_branch, taken,
+        0, 0,            # dest_regs
+        0, 0, 0, 0,      # src_regs
+        *stores, *loads,
+    )
+
+
+def build() -> bytes:
+    rng = random.Random(20060325)  # CGO'06, fixed forever
+    out = []
+    for i in range(ITERATIONS):
+        # Strided stream: one 8-byte word per iteration.
+        out.append(record(LOOP_HEAD, loads=(0x1000_0000 + i * 8,)))
+        # Irregular load over a 1 MiB window.
+        out.append(record(
+            LOOP_HEAD + 8,
+            loads=(0x2000_0000 + rng.randrange(1 << 20) * 8,),
+        ))
+        # Loop back-edge.
+        out.append(record(LOOP_HEAD + 16, is_branch=1, taken=1))
+    return b"".join(out)
+
+
+def main() -> int:
+    out = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUT
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = build()
+    with open(out, "wb") as fh:
+        with gzip.GzipFile(
+            filename="", mode="wb", fileobj=fh, mtime=0
+        ) as gz:
+            gz.write(payload)
+    print(f"wrote {len(payload) // 64} records to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

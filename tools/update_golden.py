@@ -34,6 +34,7 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.config import PrefetchPolicy  # noqa: E402
 from repro.harness.runner import run_simulation  # noqa: E402
+from repro.scenarios import CATALOG  # noqa: E402
 from repro.workloads.registry import BENCHMARK_NAMES  # noqa: E402
 
 #: The fixture grid.  Policies chosen to pin both the bare timing model
@@ -45,6 +46,20 @@ WARMUP_INSTRUCTIONS = 1_000
 SAMPLE_INTERVAL = 1_000
 SEED = 1
 
+#: Curated DSL scenarios pinned alongside the builtin benchmarks: the
+#: scenario compiler (register plan, data-structure layout, phase
+#: nesting) is part of the timing surface these fixtures guard.
+SCENARIO_NAMES = tuple(CATALOG)
+ALL_WORKLOADS = tuple(BENCHMARK_NAMES) + SCENARIO_NAMES
+
+
+def workload_arg(name: str, seed: int = SEED):
+    """Resolve a grid entry: catalog scenarios compile to Workload
+    objects, builtin names pass through to the registry."""
+    if name in CATALOG:
+        return CATALOG[name].build(seed)
+    return name
+
 
 def canonical(payload: dict) -> str:
     """The byte-exact form the equivalence suite compares (no sort_keys:
@@ -54,7 +69,7 @@ def canonical(payload: dict) -> str:
 
 def generate_cell(workload: str, policy: PrefetchPolicy) -> dict:
     result = run_simulation(
-        workload,
+        workload_arg(workload),
         policy=policy,
         max_instructions=MAX_INSTRUCTIONS,
         warmup_instructions=WARMUP_INSTRUCTIONS,
@@ -82,7 +97,7 @@ def fixture_path(workload: str, policy: PrefetchPolicy) -> pathlib.Path:
 
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    for workload in BENCHMARK_NAMES:
+    for workload in ALL_WORKLOADS:
         for policy in POLICIES:
             fixture = generate_cell(workload, policy)
             path = fixture_path(workload, policy)
