@@ -1,0 +1,54 @@
+"""Policy tournament — every contender on every workload, ranked.
+
+Runs the full tournament arena (all builtin benchmarks plus the curated
+DSL scenarios) across the three software policies and every registered
+hardware-prefetcher zoo engine, renders the ranked table, and writes the
+machine-readable record to ``results/BENCH_tournament.json`` (plus the
+longitudinal history feed).  The shape gate checks structure (complete
+coverage, deterministic ranking) and the adaptivity headline: the
+self-repairing software prefetcher outranks every zoo hardware engine.
+"""
+
+import time
+
+from bench_output import write_bench_record
+from conftest import shapes_asserted
+
+from repro.harness.experiments import tournament
+
+
+def run_tournament(engine):
+    start = time.perf_counter()
+    result = tournament(engine=engine)
+    return result, time.perf_counter() - start
+
+
+def test_tournament(benchmark, report, engine):
+    result, wall_s = benchmark.pedantic(
+        run_tournament, kwargs={"engine": engine}, iterations=1, rounds=1
+    )
+    report("tournament", result.render())
+    ranking = result.ranking
+    write_bench_record(
+        "tournament",
+        wall_times_s={"tournament": wall_s},
+        speedup=ranking[0]["mean_speedup"] if ranking else None,
+        extra=result.to_dict(),
+    )
+    # Structure holds at any budget: full coverage, complete ranking.
+    contenders = set(result.contenders)
+    assert result.rows, "tournament produced no surviving workloads"
+    for row in result.rows:
+        assert set(row["speedup"]) == contenders
+    assert {entry["policy"] for entry in ranking} == contenders
+    if not shapes_asserted():
+        return  # tiny smoke budgets: ratios are all noise
+    by_policy = {e["policy"]: e["mean_speedup"] for e in ranking}
+    zoo = {
+        name: spd for name, spd in by_policy.items()
+        if name not in ("hw_only", "basic", "self_repairing")
+    }
+    assert zoo, "no zoo engines competed"
+    assert all(
+        by_policy["self_repairing"] > spd for spd in zoo.values()
+    ), "a zoo hardware engine outranked the self-repairing prefetcher"

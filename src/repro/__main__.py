@@ -32,13 +32,13 @@ import signal
 import sys
 from typing import List, Optional
 
-from .config import PrefetchPolicy
 from .errors import ReproError
 from .faults.plan import FaultPlan
 from .harness import experiments
 from .harness.engine import ExperimentEngine, make_job
 from .harness.report import render_mapping, render_timeline
 from .harness.runner import run_simulation
+from .hwprefetch.zoo import all_policy_names
 from .logutil import configure_logging
 from .obs import Observer, write_chrome_trace, write_jsonl, write_metrics
 from .workloads.registry import BENCHMARK_NAMES, load_workload
@@ -55,6 +55,7 @@ _FIGURES = {
     "cache": experiments.cache_equivalent_area,
     "resilience": experiments.resilience,
     "scaling": experiments.scaling_curve,
+    "tournament": experiments.tournament,
 }
 
 
@@ -249,7 +250,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--policy",
         default="self_repairing",
-        choices=[p.value for p in PrefetchPolicy],
+        choices=all_policy_names(),
+        help=(
+            "a paper policy or a hardware-prefetcher zoo name "
+            "(zoo names run hw-only with that engine)"
+        ),
     )
     run.add_argument("--instructions", type=int, default=100_000)
     run.add_argument("--warmup", type=int, default=200_000)
@@ -368,7 +373,7 @@ def _build_parser() -> argparse.ArgumentParser:
     timeline.add_argument(
         "--policy",
         default="self_repairing",
-        choices=[p.value for p in PrefetchPolicy],
+        choices=all_policy_names(),
     )
     timeline.add_argument("--instructions", type=int, default=100_000)
     timeline.add_argument("--warmup", type=int, default=200_000)
@@ -393,7 +398,7 @@ def _build_parser() -> argparse.ArgumentParser:
     traces.add_argument(
         "--policy",
         default="self_repairing",
-        choices=[p.value for p in PrefetchPolicy],
+        choices=all_policy_names(),
     )
 
     scen = sub.add_parser(
@@ -437,8 +442,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "compare", help="run two policies side by side"
     )
     compare.add_argument("workload", choices=BENCHMARK_NAMES)
-    compare.add_argument("--baseline", default="hw_only")
-    compare.add_argument("--candidate", default="self_repairing")
+    compare.add_argument(
+        "--baseline", default="hw_only", choices=all_policy_names()
+    )
+    compare.add_argument(
+        "--candidate", default="self_repairing", choices=all_policy_names()
+    )
     compare.add_argument("--instructions", type=int, default=100_000)
     compare.add_argument("--warmup", type=int, default=200_000)
 
@@ -600,7 +609,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         observer = Observer(sample_interval=args.sample_interval)
         result = run_simulation(
             workload_arg,
-            policy=PrefetchPolicy(args.policy),
+            policy=args.policy,
             max_instructions=args.instructions,
             warmup_instructions=args.warmup,
             seed=args.seed,
@@ -615,7 +624,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine = _engine_from_args(args)
         job = make_job(
             ref,
-            policy=PrefetchPolicy(args.policy),
+            policy=args.policy,
             max_instructions=args.instructions,
             warmup_instructions=args.warmup,
             seed=args.seed,
@@ -742,7 +751,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     observer = Observer()
     run_simulation(
         args.workload,
-        policy=PrefetchPolicy(args.policy),
+        policy=args.policy,
         max_instructions=args.instructions,
         warmup_instructions=args.warmup,
         seed=args.seed,
@@ -766,12 +775,15 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 def _cmd_traces(args: argparse.Namespace) -> int:
     from .config import SimulationConfig
     from .harness.runner import Simulation
+    from .hwprefetch.zoo import resolve_policy
     from .isa.disasm import format_instruction
 
+    policy, hw_prefetcher = resolve_policy(args.policy)
     sim = Simulation(
         args.workload,
         SimulationConfig(
-            policy=PrefetchPolicy(args.policy),
+            policy=policy,
+            hw_prefetcher=hw_prefetcher,
             max_instructions=args.instructions,
         ),
     )
@@ -861,7 +873,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ):
         results[role] = run_simulation(
             args.workload,
-            policy=PrefetchPolicy(policy),
+            policy=policy,
             max_instructions=args.instructions,
             warmup_instructions=args.warmup,
         )

@@ -384,6 +384,14 @@ class SimulationConfig:
     #: is **excluded** from the job spec the result cache hashes — runs
     #: differing only in cadence share results and checkpoints.
     checkpoint_every: Optional[int] = None
+    #: Hardware-prefetcher zoo policy name (repro.hwprefetch.zoo): when
+    #: set, the named engine replaces the stock stream buffers as the
+    #: hierarchy's hardware prefetcher.  Only meaningful when ``policy``
+    #: enables hardware prefetching; ``None`` (the default) keeps the
+    #: paper's stream buffers.  The job spec omits this field when None,
+    #: so pre-zoo cache keys, journal job_keys, and checkpoint prefixes
+    #: are byte-unchanged.
+    hw_prefetcher: Optional[str] = None
 
     def __post_init__(self) -> None:
         policy = self.policy
@@ -433,6 +441,27 @@ class SimulationConfig:
                 "checkpoint_every must be a positive integer or None, "
                 f"got {self.checkpoint_every!r}"
             )
+        if self.hw_prefetcher is not None:
+            if not isinstance(self.hw_prefetcher, str):
+                raise ConfigError(
+                    "hw_prefetcher must be a zoo policy name or None, "
+                    f"got {self.hw_prefetcher!r}"
+                )
+            # Imported lazily: the zoo imports this module at its top.
+            from .hwprefetch.zoo import zoo_names
+
+            if self.hw_prefetcher not in zoo_names():
+                known = ", ".join(zoo_names())
+                raise ConfigError(
+                    f"unknown hardware prefetcher {self.hw_prefetcher!r}; "
+                    f"known: {known}"
+                )
+            if not self.policy.hardware_prefetching:
+                raise ConfigError(
+                    f"hw_prefetcher={self.hw_prefetcher!r} needs a policy "
+                    "with hardware prefetching enabled, got "
+                    f"{self.policy.value!r}"
+                )
         for name in ("max_cycles", "wall_time_limit"):
             value = getattr(self, name)
             if value is None:

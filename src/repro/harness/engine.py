@@ -104,9 +104,14 @@ class SimJob:
         jobs keep their historical spec (cache entries, journal keys,
         and checkpoint prefixes all survive this field's addition).
         The trace's ``path`` is dropped: identity is the content hash.
+        ``hw_prefetcher`` likewise appears only when a zoo policy is
+        selected — every pre-zoo job spec hashes byte-identically
+        (``tests/test_spec_hashes.py`` pins this).
         """
         config = _jsonify(dataclasses.asdict(self.config))
         config.pop("checkpoint_every", None)
+        if config.get("hw_prefetcher") is None:
+            config.pop("hw_prefetcher", None)
         payload = {
             "workload": self.workload,
             "config": config,
@@ -187,7 +192,7 @@ def _jsonify(value):
 
 def make_job(
     workload,
-    policy: PrefetchPolicy = PrefetchPolicy.SELF_REPAIRING,
+    policy: Union[PrefetchPolicy, str] = PrefetchPolicy.SELF_REPAIRING,
     machine: Optional[MachineConfig] = None,
     trident: Optional[TridentConfig] = None,
     max_instructions: int = 200_000,
@@ -202,6 +207,7 @@ def make_job(
     fast: bool = True,
     checkpoint_every: Optional[int] = None,
     group: str = "",
+    hw_prefetcher: Optional[str] = None,
 ) -> SimJob:
     """Build a :class:`SimJob` with ``run_simulation``'s signature.
 
@@ -210,7 +216,21 @@ def make_job(
     TraceSpec object — external sources are normalised into the job's
     ``scenario``/``trace`` fields here, once, so everything downstream
     (cache, journal, checkpoints, workers) sees plain data.
+
+    ``policy`` additionally accepts a hardware-prefetcher zoo name
+    (see :mod:`repro.hwprefetch.zoo`), which becomes ``HW_ONLY`` with
+    ``hw_prefetcher`` set to that name.
     """
+    from ..hwprefetch.zoo import resolve_policy
+
+    policy, zoo_name = resolve_policy(policy)
+    if zoo_name is not None:
+        if hw_prefetcher is not None and hw_prefetcher != zoo_name:
+            raise ReproError(
+                f"policy {zoo_name!r} conflicts with "
+                f"hw_prefetcher={hw_prefetcher!r}"
+            )
+        hw_prefetcher = zoo_name
     scenario = trace = None
     if not isinstance(workload, str) or ":" in workload:
         from ..scenarios import resolve_job_source
@@ -233,6 +253,7 @@ def make_job(
         wall_time_limit=wall_time_limit,
         fast=fast,
         checkpoint_every=checkpoint_every,
+        hw_prefetcher=hw_prefetcher,
     )
     return SimJob(
         workload=workload,

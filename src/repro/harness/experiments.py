@@ -1246,3 +1246,180 @@ def scaling_curve(
             ],
         })
     return result
+
+
+# ---------------------------------------------------------------------------
+# Policy tournament — every policy (paper + zoo) on every workload.
+# ---------------------------------------------------------------------------
+def tournament_contenders() -> List[str]:
+    """The tournament field, in fixed submission order: the hardware
+    baseline first (everyone's denominator), the paper's software
+    policies, then every registered zoo engine."""
+    from ..hwprefetch.zoo import zoo_names
+
+    return (
+        ["hw_only", "basic", "self_repairing"] + list(zoo_names())
+    )
+
+
+def tournament_workloads() -> List[str]:
+    """The default arena: all builtin benchmarks plus the curated
+    scenario catalog (the four stress scenarios exercise access
+    patterns the builtins don't)."""
+    from ..scenarios import CATALOG
+
+    return list(BENCHMARK_NAMES) + [
+        f"scenario:{name}" for name in CATALOG
+    ]
+
+
+@dataclass
+class TournamentResult:
+    """Every contender's IPC on every workload, plus the ranking.
+
+    ``rows`` holds one entry per surviving workload with that
+    workload's per-contender IPC and speedup over ``hw_only``;
+    ``ranking`` is derived, sorted by mean speedup (ties broken by
+    name, so the order is deterministic across runs and processes).
+    """
+
+    contenders: List[str] = field(default_factory=list)
+    rows: List[Dict] = field(default_factory=list)
+    errors: List[Dict] = field(default_factory=list)
+
+    @property
+    def ranking(self) -> List[Dict]:
+        """``[{policy, mean_speedup, wins}]`` best-first."""
+        if not self.rows:
+            return []
+        entries = []
+        for label in self.contenders:
+            speedups = [r["speedup"][label] for r in self.rows]
+            entries.append({
+                "policy": label,
+                "mean_speedup": arithmetic_mean(speedups),
+                "wins": sum(
+                    1 for r in self.rows if r["winner"] == label
+                ),
+            })
+        entries.sort(key=lambda e: (-e["mean_speedup"], e["policy"]))
+        return entries
+
+    def render(self) -> str:
+        from .charts import bar_chart
+
+        matrix_rows = []
+        for r in self.rows:
+            matrix_rows.append(
+                (r["workload"], f"{r['ipc']['hw_only']:.3f}")
+                + tuple(
+                    speedup_percent(r["speedup"][label])
+                    for label in self.contenders[1:]
+                )
+            )
+        matrix = render_table(
+            ["workload", "hw_only IPC"]
+            + [f"{label}" for label in self.contenders[1:]],
+            matrix_rows,
+            title=(
+                "Policy tournament: speedup over the hw_only stream-"
+                "buffer baseline, every policy x every workload"
+            ),
+        )
+        ranking = self.ranking
+        ranked = render_table(
+            ["rank", "policy", "mean speedup", "wins"],
+            [
+                (
+                    str(position + 1),
+                    entry["policy"],
+                    speedup_percent(entry["mean_speedup"]),
+                    str(entry["wins"]),
+                )
+                for position, entry in enumerate(ranking)
+            ],
+            title="Ranking (mean speedup across the arena; ties by name)",
+        )
+        chart = bar_chart(
+            "mean speedup over hw_only",
+            [(e["policy"], e["mean_speedup"]) for e in ranking],
+            unit="x",
+            baseline=1.0,
+        )
+        return _with_errors(
+            matrix + "\n\n" + ranked + "\n\n" + chart, self.errors
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON payload for ``benchmarks/results/BENCH_tournament.json``."""
+        return {
+            "contenders": list(self.contenders),
+            "workloads": [r["workload"] for r in self.rows],
+            "ranking": self.ranking,
+            "rows": [
+                {
+                    "workload": r["workload"],
+                    "ipc": dict(r["ipc"]),
+                    "speedup": dict(r["speedup"]),
+                    "winner": r["winner"],
+                }
+                for r in self.rows
+            ],
+            "errors": list(self.errors),
+        }
+
+
+def tournament(
+    workloads: Optional[Sequence[str]] = None,
+    max_instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+    engine: Optional[ExperimentEngine] = None,
+    fast: bool = True,
+) -> TournamentResult:
+    """Run every registered policy against every arena workload.
+
+    Explicit ``workloads`` (or ``REPRO_BENCH_WORKLOADS``) select a
+    sub-arena; the default is all 14 builtins plus the 4 catalog
+    scenarios.  One engine batch: the shared ``hw_only`` baselines
+    dedupe against every other figure through the result cache.
+    """
+    if workloads is None and not os.environ.get(ENV_WORKLOADS):
+        names = tournament_workloads()
+    else:
+        names = bench_workloads(workloads)
+    budget = max_instructions or bench_instructions()
+    warm = bench_warmup() if warmup is None else warmup
+    contenders = tournament_contenders()
+    result = TournamentResult(contenders=contenders)
+    jobs = []
+    for name in names:
+        for label in contenders:
+            jobs.append(make_job(
+                name, policy=label,
+                max_instructions=budget, warmup_instructions=warm,
+                fast=fast, group=name,
+            ))
+    grouped = run_workload_groups(_engine(engine), jobs, result.errors)
+    for name in names:
+        if name not in grouped:
+            continue
+        runs = grouped[name]
+        baseline = runs[0]
+        ipc = {
+            label: run.ipc for label, run in zip(contenders, runs)
+        }
+        speedup = {
+            label: run.speedup_over(baseline)
+            for label, run in zip(contenders, runs)
+        }
+        best = max(speedup.values())
+        winner = next(
+            label for label in contenders if speedup[label] == best
+        )
+        result.rows.append({
+            "workload": name,
+            "ipc": ipc,
+            "speedup": speedup,
+            "winner": winner,
+        })
+    return result

@@ -255,11 +255,21 @@ class Simulation:
 
         self.hierarchy = MemoryHierarchy(machine)
         if policy.hardware_prefetching:
-            self.hierarchy.stream_prefetcher = StreamBufferPrefetcher(
-                machine.stream_buffers,
-                self.hierarchy,
-                line_size=machine.line_size,
-            )
+            if self.config.hw_prefetcher is not None:
+                # A zoo policy replaces the stock stream buffers as the
+                # hierarchy's hardware prefetcher (same hook, so the
+                # fast/slow and resume/cold equivalences carry over).
+                from ..hwprefetch.zoo import build_prefetcher
+
+                self.hierarchy.stream_prefetcher = build_prefetcher(
+                    self.config.hw_prefetcher, machine, self.hierarchy
+                )
+            else:
+                self.hierarchy.stream_prefetcher = StreamBufferPrefetcher(
+                    machine.stream_buffers,
+                    self.hierarchy,
+                    line_size=machine.line_size,
+                )
 
         self.runtime: Optional[TridentRuntime] = None
         if policy.software_prefetching:
@@ -647,7 +657,7 @@ class Simulation:
 
 def run_simulation(
     workload: Union[str, Workload],
-    policy: PrefetchPolicy = PrefetchPolicy.SELF_REPAIRING,
+    policy: Union[PrefetchPolicy, str] = PrefetchPolicy.SELF_REPAIRING,
     machine: Optional[MachineConfig] = None,
     trident: Optional[TridentConfig] = None,
     max_instructions: int = 200_000,
@@ -661,8 +671,13 @@ def run_simulation(
     observer: Optional[Observer] = None,
     sample_interval: Optional[int] = None,
     fast: bool = True,
+    hw_prefetcher: Optional[str] = None,
 ) -> SimulationResult:
     """Convenience one-call simulation (the quickstart entry point).
+
+    ``policy`` accepts a :class:`~repro.config.PrefetchPolicy`, its
+    string value, or a hardware-prefetcher zoo name (which runs as
+    ``HW_ONLY`` with that engine — see :mod:`repro.hwprefetch.zoo`).
 
     Pass an :class:`~repro.obs.Observer` to collect metrics and trace
     events, or just ``sample_interval`` to get windowed IPC samples with
@@ -672,6 +687,16 @@ def run_simulation(
     :class:`~repro.errors.SimulationStallError` when a watchdog budget
     (``max_cycles`` / ``wall_time_limit``) is exhausted mid-run.
     """
+    from ..hwprefetch.zoo import resolve_policy
+
+    policy, zoo_name = resolve_policy(policy)
+    if zoo_name is not None:
+        if hw_prefetcher is not None and hw_prefetcher != zoo_name:
+            raise ConfigError(
+                f"policy {zoo_name!r} conflicts with "
+                f"hw_prefetcher={hw_prefetcher!r}"
+            )
+        hw_prefetcher = zoo_name
     if observer is None and sample_interval is not None:
         observer = Observer(sample_interval=sample_interval)
     config = SimulationConfig(
@@ -685,6 +710,7 @@ def run_simulation(
         max_cycles=max_cycles,
         wall_time_limit=wall_time_limit,
         fast=fast,
+        hw_prefetcher=hw_prefetcher,
     )
     return Simulation(
         workload,

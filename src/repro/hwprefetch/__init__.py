@@ -1,7 +1,38 @@
-"""Hardware prefetching substrate: stride predictor and stream buffers."""
+"""Hardware prefetching substrate: stride predictor, stream buffers,
+and the pluggable prefetcher zoo (:mod:`repro.hwprefetch.zoo`)."""
 
+from .adaptive_nextline import AdaptiveNextLinePrefetcher
+from .ghb import GHBPrefetcher
 from .markov import MarkovPredictor
+from .reconfig import PhaseReconfigPrefetcher
 from .stream_buffer import StreamBufferPrefetcher
 from .stride_predictor import StridePredictor
+from .triangel import TriangelPrefetcher
+from .zoo import (
+    ZooEntry,
+    all_policy_names,
+    build_prefetcher,
+    get_entry,
+    policy_label,
+    register,
+    resolve_policy,
+    zoo_names,
+)
 
-__all__ = ["MarkovPredictor", "StreamBufferPrefetcher", "StridePredictor"]
+__all__ = [
+    "AdaptiveNextLinePrefetcher",
+    "GHBPrefetcher",
+    "MarkovPredictor",
+    "PhaseReconfigPrefetcher",
+    "StreamBufferPrefetcher",
+    "StridePredictor",
+    "TriangelPrefetcher",
+    "ZooEntry",
+    "all_policy_names",
+    "build_prefetcher",
+    "get_entry",
+    "policy_label",
+    "register",
+    "resolve_policy",
+    "zoo_names",
+]

@@ -24,6 +24,7 @@ from repro.checkpoint import CheckpointStore, capture, restore
 from repro.config import PrefetchPolicy, SimulationConfig
 from repro.harness.engine import ExperimentEngine, make_job
 from repro.harness.runner import Simulation
+from repro.hwprefetch.zoo import resolve_policy, zoo_names
 from repro.obs import Observer
 from repro.workloads.registry import BENCHMARK_NAMES
 
@@ -34,10 +35,21 @@ WARMUP = 500
 POLICY_SWEEP_WORKLOADS = ["mcf", "swim"]
 SLOW_SWEEP_WORKLOADS = ["art", "dot", "mcf"]
 
+#: Enum policies plus the hardware-prefetcher zoo: zoo engine state
+#: (GHB rings, metadata tables, degree machines) rides inside the
+#: snapshot, so resume-vs-cold identity must hold for each engine.
+ALL_POLICIES = list(PrefetchPolicy) + list(zoo_names())
+
+
+def _policy_id(policy) -> str:
+    return policy.value if isinstance(policy, PrefetchPolicy) else policy
+
 
 def _config(policy, budget, fast=True):
+    policy, hw_prefetcher = resolve_policy(policy)
     return SimulationConfig(
         policy=policy,
+        hw_prefetcher=hw_prefetcher,
         max_instructions=budget,
         warmup_instructions=WARMUP,
         fast=fast,
@@ -72,7 +84,7 @@ class TestResumeMatchesCold:
     def test_every_workload_fast(self, name):
         _assert_equivalent(name, PrefetchPolicy.SELF_REPAIRING, fast=True)
 
-    @pytest.mark.parametrize("policy", list(PrefetchPolicy))
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=_policy_id)
     @pytest.mark.parametrize("name", POLICY_SWEEP_WORKLOADS)
     def test_every_policy_fast(self, name, policy):
         _assert_equivalent(name, policy, fast=True)
@@ -81,7 +93,7 @@ class TestResumeMatchesCold:
     def test_slow_interpreter(self, name):
         _assert_equivalent(name, PrefetchPolicy.SELF_REPAIRING, fast=False)
 
-    @pytest.mark.parametrize("policy", list(PrefetchPolicy))
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=_policy_id)
     def test_every_policy_slow(self, policy):
         _assert_equivalent("mcf", policy, fast=False)
 

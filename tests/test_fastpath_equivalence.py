@@ -31,6 +31,7 @@ from repro.harness.cache import ResultCache
 from repro.harness.engine import ExperimentEngine, make_job
 from repro.harness.runner import run_simulation
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.hwprefetch.zoo import zoo_names
 from repro.memory.mainmem import DataMemory
 from repro.obs import Observer
 from repro.obs.export import write_jsonl
@@ -39,6 +40,15 @@ from repro.workloads import BENCHMARK_NAMES
 BUDGET = 2_000
 WARMUP = 500
 POLICY_SWEEP_WORKLOADS = ["mcf", "swim"]
+
+#: Every selectable policy: the paper's enum plus the hardware-
+#: prefetcher zoo (zoo engines hook the hierarchy, not the
+#: interpreters, so fast/slow identity must hold for them too).
+ALL_POLICIES = list(PrefetchPolicy) + list(zoo_names())
+
+
+def _policy_id(policy) -> str:
+    return policy.value if isinstance(policy, PrefetchPolicy) else policy
 
 
 def _canon(result) -> str:
@@ -62,7 +72,7 @@ class TestEveryWorkload:
 
 class TestEveryPolicy:
     @pytest.mark.parametrize("name", POLICY_SWEEP_WORKLOADS)
-    @pytest.mark.parametrize("policy", list(PrefetchPolicy))
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=_policy_id)
     def test_payload_identical(self, name, policy):
         slow = _run(name, fast=False, policy=policy)
         fast = _run(name, fast=True, policy=policy)

@@ -38,11 +38,7 @@ _spec.loader.exec_module(ug)
 
 from repro.harness.runner import run_simulation  # noqa: E402
 
-CELLS = [
-    (workload, policy)
-    for workload in ug.ALL_WORKLOADS
-    for policy in ug.POLICIES
-]
+CELLS = list(ug.grid_cells())
 
 
 def _flatten(payload, prefix=""):
@@ -92,7 +88,9 @@ def _recompute(spec: dict, fast: bool) -> dict:
 
 
 @pytest.mark.parametrize(
-    "workload,policy", CELLS, ids=[f"{w}-{p.value}" for w, p in CELLS]
+    "workload,policy",
+    CELLS,
+    ids=[f"{w}-{ug.policy_value(p)}" for w, p in CELLS],
 )
 @pytest.mark.parametrize("fast", [True, False], ids=["fast", "slow"])
 def test_golden_cell(workload, policy, fast):
@@ -102,7 +100,7 @@ def test_golden_cell(workload, policy, fast):
 
     if payload != fixture["result"]:
         pytest.fail(
-            f"timing drift vs golden {workload}/{policy.value} "
+            f"timing drift vs golden {workload}/{ug.policy_value(policy)} "
             f"(fast={fast}):\n" + _diff(fixture["result"], payload)
         )
     # Byte-exact guard on top of the structural compare: key order and
@@ -119,3 +117,113 @@ def test_fixture_grid_complete():
         if not ug.fixture_path(w, p).exists()
     ]
     assert not missing, f"missing fixtures: {missing}"
+
+
+#: sha256 of every golden fixture *file* that predates the hardware-
+#: prefetcher zoo (28 builtin + 4 scenario workloads × 2 policies).
+#: Adding the zoo (new config field, new fixture cells) must not move a
+#: byte of them — the spec omits ``hw_prefetcher`` when unset precisely
+#: so these stay frozen.  A mismatch here means a timing or
+#: serialization change leaked into pre-zoo cells; regenerate ONLY on an
+#: intentional timing change, and update this manifest with it.
+PRE_ZOO_FIXTURE_SHA256 = {
+    "applu__hw_only.json":
+        "ba8e755489cd7a4c9d1b39da0ef7a520c23d997bbd8558b8d49087b0ac270daa",
+    "applu__self_repairing.json":
+        "766c30964107d5d48afa7e4f8d19e47ad7ada34dac6201c236ed46f789c4fa3f",
+    "art__hw_only.json":
+        "0e3ea0badd528b0d0ba161606300aecea083f723cf103518c71f6044e9f3ac5a",
+    "art__self_repairing.json":
+        "3d73e8dad112fbd640d798787c0544e0775a1c4ac6a64abee120f603b6261a2a",
+    "dot__hw_only.json":
+        "028aea4c901f0afb8ffe9b249a9383755677e6c2d1c7396245a9f28411fc0a13",
+    "dot__self_repairing.json":
+        "3e3c248942665c01efa080eaa4866ca96bf95e22531cb340e6c0b5f952966586",
+    "equake__hw_only.json":
+        "402f3f09b35989e4db6b3c240b45fd2c580f753d9b4a220fe0e759f6e0df0b4f",
+    "equake__self_repairing.json":
+        "ff4f1e97b1accf5f95844d6511a7a843aff20137beb0dcda333f70334923281c",
+    "facerec__hw_only.json":
+        "e88e001797157ff24fbbd9e81a0eb8e76bd3181cc18fcb2a2733bf7752a7486c",
+    "facerec__self_repairing.json":
+        "477c7ba7f7d5881b81a23e8ed6df708f704c4ef202d8be0394e71401fbb514f9",
+    "fma3d__hw_only.json":
+        "9b885933678f040760e9cd49c3d6f6ffbef41ac587730ba9298582fff6808d86",
+    "fma3d__self_repairing.json":
+        "388ae5c644bf309f51486d5d062251e7cbf6a4c9c637a839c49122b9c0425840",
+    "galgel__hw_only.json":
+        "81acd94c6c12c627045ffbd8de44c7ed2c1b026dda24a17e357aca1c493e0c0c",
+    "galgel__self_repairing.json":
+        "fc42e89c6cf08b4deef6f2baad6ac6d7f07751db4f58b82765feb68a09a7a1af",
+    "gap__hw_only.json":
+        "05fe94e57dd74850323b097eee4f9c75cad860bf91f7c0781d4360a66d7dd60c",
+    "gap__self_repairing.json":
+        "ce20bf52a3c04e0eca2b39e64b81fd0c7b012991bbc65cdebff3132ddec20e0b",
+    "hash-churn__hw_only.json":
+        "4bc459151729fa1b5cb3de377da97d26aa9cc1173d42801745b36dcbf2934b34",
+    "hash-churn__self_repairing.json":
+        "62d6a23f950b9bf0ac0c83ebf26db91454298fc0250c86e0f4b71f99252a7358",
+    "mcf__hw_only.json":
+        "dca357cdd339ee9c7a6a4fb12c051272905262595255706757d91ab7ac71168a",
+    "mcf__self_repairing.json":
+        "48d32faebbb0492af43d5d967af6540565a3459bca2698dfd98641971070796d",
+    "mgrid__hw_only.json":
+        "508f7ef890e69e7ea10da52bf7e159668cfb0a7d0526ac0d8756452622a49f48",
+    "mgrid__self_repairing.json":
+        "3ba62bb6b04dfb8c9f0ed2e23a6135d03a8538184ec6e8758ef12384809acead",
+    "object-walk__hw_only.json":
+        "46f43c7a9f64eb229639a6e9a329b36185356cff449dcfe2e4574943e7e7a2a2",
+    "object-walk__self_repairing.json":
+        "9c881277797bef9eb791bfb5b94c548ab3af3c86581bd7ed0a66f405ce4e76d2",
+    "parser__hw_only.json":
+        "70a4c949e2542931f5526c648fbdd2605751afcd740e03f183214452eef6b04c",
+    "parser__self_repairing.json":
+        "91e27702eab83625458c35d3269a74ac9b59bd1cc4305212feae5e4e0f11a27e",
+    "ramp-chase__hw_only.json":
+        "86f4f77eadfda45a4c483b86a42859e5dcb25215ee3f31ddf50eadb1fc789efb",
+    "ramp-chase__self_repairing.json":
+        "1d95cf72e0e43df2995d08a56889d7a92f04abf6bdc517eb19dfa858f61128c6",
+    "stride-flip__hw_only.json":
+        "3d29878811d7ccc847e22a6fe032101b7a9649c3103ee520a500e9282fcaeaef",
+    "stride-flip__self_repairing.json":
+        "45b52bb54567a5151b8b5070a2c0877d04f433ae29d860107ea9e65064a14741",
+    "swim__hw_only.json":
+        "d70cabf66539b9eacdeb9c018827c53c2e87ed4d938a21264615407c7e6c5a96",
+    "swim__self_repairing.json":
+        "7bfbd4a41488d0270e18f8c2f0b16d3884d187f26004bb848c4e6c3d86cb22a7",
+    "vis__hw_only.json":
+        "fdf199c4aa3152f2b6c07af0aeb6d70ffa5ecab21451cdb7f687fffbd9416737",
+    "vis__self_repairing.json":
+        "f874ecb0b8533b63e662739ac0cbbf688bc97d07d467c9fe9c29ae795d681a57",
+    "wupwise__hw_only.json":
+        "2a2ff800d4b40a0f80e65a8d2d4e040856f572f1e20a47fd96c86042ef26a14f",
+    "wupwise__self_repairing.json":
+        "ea793ccfeef4af3bc0ebd90ab7456429a31c29976ba7693f5fca1c7306a2f6c6",
+}
+
+
+def test_pre_zoo_fixtures_byte_unchanged():
+    """The 36 pre-zoo fixture files are byte-for-byte frozen."""
+    assert len(PRE_ZOO_FIXTURE_SHA256) == 36
+    drifted = []
+    for name, expected in sorted(PRE_ZOO_FIXTURE_SHA256.items()):
+        path = ug.GOLDEN_DIR / name
+        assert path.exists(), f"pre-zoo fixture {name} deleted"
+        actual = hashlib.sha256(path.read_bytes()).hexdigest()
+        if actual != expected:
+            drifted.append(f"  {name}: pinned={expected[:12]} got={actual[:12]}")
+    assert not drifted, (
+        "pre-zoo golden fixtures changed on disk (the zoo must not "
+        "perturb them):\n" + "\n".join(drifted)
+    )
+
+
+def test_zoo_grid_has_all_policies():
+    """Every registered zoo policy has a fixture on the zoo subset."""
+    from repro.hwprefetch.zoo import zoo_names
+
+    zoo_cells = {(w, p) for w, p in CELLS if isinstance(p, str)}
+    expected = {
+        (w, name) for w in ug.ZOO_WORKLOADS for name in zoo_names()
+    }
+    assert zoo_cells == expected

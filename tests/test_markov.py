@@ -1,8 +1,10 @@
 """Tests for the Markov predictor and Markov-guided stream buffers."""
 
 import random
+from collections import OrderedDict
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.config import MachineConfig, StreamBufferConfig
 from repro.hwprefetch.markov import MarkovPredictor
@@ -39,6 +41,69 @@ class TestMarkovPredictor:
     def test_requires_positive_entries(self):
         with pytest.raises(ValueError):
             MarkovPredictor(0)
+
+
+class TestMarkovEvictionOrder:
+    """The table is LRU on *use*: training a source refreshes it, and a
+    successful prediction refreshes it too.  Eviction must always claim
+    the least-recently-used source — these pin that order."""
+
+    def test_oldest_source_evicted_first(self):
+        m = MarkovPredictor(entries=3)
+        for block in (0, 64, 128, 192, 256):  # sources 0, 64, 128, 192
+            m.train(block)
+        # Capacity 3: adding source 192 evicted source 0, nothing else.
+        assert m.predict(0) is None
+        assert m.predict(64) == 128
+        assert m.predict(128) == 192
+        assert m.predict(192) == 256
+
+    def test_predict_refreshes_recency(self):
+        m = MarkovPredictor(entries=2)
+        for block in (0, 64, 128):  # table: 0 -> 64, 64 -> 128
+            m.train(block)
+        assert m.predict(0) == 64  # touch source 0: now MRU
+        m.train(192)  # adds 128 -> 192; evicts source 64, NOT source 0
+        assert m.predict(0) == 64
+        assert m.predict(64) is None
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(("train", "predict")),
+                st.integers(min_value=0, max_value=11).map(lambda i: i * 64),
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        entries=st.integers(min_value=1, max_value=5),
+    )
+    @settings(deadline=None)
+    def test_matches_lru_specification(self, ops, entries):
+        """Model-based property: against an explicit LRU reference
+        (insert/refresh source on train, refresh on predict hit, evict
+        oldest past capacity), every prediction and the final table
+        contents agree on arbitrary op sequences."""
+        m = MarkovPredictor(entries)
+        ref: OrderedDict = OrderedDict()
+        last = None
+        for op, block in ops:
+            if op == "train":
+                prev, last = last, block
+                m.train(block)
+                if prev is not None and prev != block:
+                    ref[prev] = block
+                    ref.move_to_end(prev)
+                    while len(ref) > entries:
+                        ref.popitem(last=False)
+            else:
+                expected = ref.get(block)
+                if expected is not None:
+                    ref.move_to_end(block)
+                assert m.predict(block) == expected
+        assert len(m) == len(ref)
+        for source, target in ref.items():
+            assert m.predict(source) == target
 
 
 class TestMarkovStreamBuffers:

@@ -26,11 +26,13 @@ import json
 import os
 import pathlib
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.checkpoint import capture, restore
 from repro.config import PrefetchPolicy, SimulationConfig
 from repro.harness.runner import Simulation
+from repro.hwprefetch.zoo import resolve_policy, zoo_names
 from repro.scenarios import Phase, Primitive, ScenarioSpec
 
 #: Simulation budgets: small enough to keep hundreds of examples cheap,
@@ -49,6 +51,15 @@ FUZZ_SETTINGS = settings(
     max_examples=MAX_EXAMPLES,
     deadline=None,
     derandomize=True,  # fixed corpus: CI failures reproduce exactly
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The zoo oracles multiply by every registered policy, so each gets a
+#: slice of the example budget rather than the full allowance.
+ZOO_FUZZ_SETTINGS = settings(
+    max_examples=max(5, MAX_EXAMPLES // 5),
+    deadline=None,
+    derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
 
@@ -140,10 +151,12 @@ def _record_repro(spec: ScenarioSpec, reason: str, suffix: str) -> pathlib.Path:
 
 
 def _run(spec, policy, budget, fast=True, sink=None):
+    policy, hw_prefetcher = resolve_policy(policy)
     sim = Simulation(
         spec.build(seed=1),
         SimulationConfig(
             policy=policy,
+            hw_prefetcher=hw_prefetcher,
             max_instructions=budget,
             warmup_instructions=WARMUP,
             fast=fast,
@@ -228,3 +241,73 @@ def test_self_repairing_losses_are_recorded(spec):
         "SELF_REPAIRING runaway: more than 2x BASIC cycles "
         f"({sr.cycles:.0f} vs {basic.cycles:.0f})"
     )
+
+
+# ---------------------------------------------------------------------------
+# Zoo oracles: the same differential discipline for every registered
+# hardware-prefetcher policy.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("zoo_policy", zoo_names())
+@given(spec=specs)
+@ZOO_FUZZ_SETTINGS
+def test_zoo_fast_slow_never_diverge(zoo_policy, spec):
+    """Zoo engines hook the hierarchy, not the interpreters — fast and
+    slow runs must stay byte-identical for each of them on arbitrary
+    generated scenarios."""
+    _, fast = _run(spec, zoo_policy, B2, fast=True)
+    _, slow = _run(spec, zoo_policy, B2, fast=False)
+    if fast.to_dict() != slow.to_dict():
+        path = _record_repro(
+            spec,
+            f"fast vs slow divergence under {zoo_policy}",
+            f"fastslow_{zoo_policy}",
+        )
+        raise AssertionError(
+            f"{zoo_policy}: fast/slow divergence; repro written to {path}"
+        )
+
+
+@pytest.mark.parametrize("zoo_policy", zoo_names())
+@given(spec=specs)
+@ZOO_FUZZ_SETTINGS
+def test_zoo_resume_never_diverges_from_cold(zoo_policy, spec):
+    """Zoo engine state (GHB rings, metadata tables, degree machines)
+    rides inside the snapshot; resume must equal the cold run."""
+    _, cold = _run(spec, zoo_policy, B2)
+    captured = []
+    sink = lambda s: bool(captured.append(capture(s))) or True  # noqa: E731
+    _run(spec, zoo_policy, B1, sink=sink)
+    assert captured, "end-of-run capture must fire"
+    resumed = restore(captured[-1]).resume(B2)
+    if resumed.to_dict() != cold.to_dict():
+        path = _record_repro(
+            spec,
+            f"resume vs cold divergence under {zoo_policy}",
+            f"resume_{zoo_policy}",
+        )
+        raise AssertionError(
+            f"{zoo_policy}: resume/cold divergence; repro written to {path}"
+        )
+
+
+@pytest.mark.parametrize("zoo_policy", zoo_names())
+@given(spec=specs)
+@ZOO_FUZZ_SETTINGS
+def test_zoo_losses_are_recorded(zoo_policy, spec):
+    """Where a zoo engine loses to the software BASIC policy, keep the
+    evidence as a runnable repro — losses are data (the tournament
+    already shows most zoo engines trail the tuned stream buffers), not
+    failures.  What *is* asserted: both policies complete the same
+    instruction budget."""
+    _, basic = _run(spec, PrefetchPolicy.BASIC, B2)
+    _, zoo = _run(spec, zoo_policy, B2)
+    assert basic.instructions == zoo.instructions
+    if zoo.cycles > basic.cycles:
+        _record_repro(
+            spec,
+            f"{zoo_policy} {zoo.cycles:.0f} cycles vs BASIC "
+            f"{basic.cycles:.0f}",
+            f"zooloss_{zoo_policy}",
+        )

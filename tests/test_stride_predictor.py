@@ -1,11 +1,14 @@
 """Tests for the hardware stride predictor and stream buffers."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.config import MachineConfig, StreamBufferConfig
 from repro.hwprefetch.stride_predictor import StridePredictor
 from repro.hwprefetch.stream_buffer import StreamBufferPrefetcher
 from repro.memory.hierarchy import MemoryHierarchy
+
+PAGE = 4096
 
 
 class TestStridePredictor:
@@ -50,6 +53,74 @@ class TestStridePredictor:
     def test_requires_positive_entries(self):
         with pytest.raises(ValueError):
             StridePredictor(0)
+
+
+class TestNegativeStrideAliasing:
+    """The table is direct-mapped on ``pc % entries``: colliding PCs
+    replace each other.  Negative strides (descending array walks) are
+    first-class and must survive — or be cleanly forgotten across — the
+    aliasing corner."""
+
+    ENTRIES = 64
+
+    @given(
+        stride=st.sampled_from((-8, -64, -96, -4096)),
+        pc=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(deadline=None)
+    def test_negative_stride_learned(self, stride, pc):
+        sp = StridePredictor(self.ENTRIES)
+        addr = 1 << 24
+        for _ in range(5):
+            sp.update(pc, addr)
+            addr += stride
+        assert sp.predict(pc) == stride
+
+    @given(
+        pc=st.integers(min_value=0, max_value=1_000),
+        collisions=st.integers(min_value=1, max_value=4),
+    )
+    @settings(deadline=None)
+    def test_alias_evicts_trained_negative_stride(self, pc, collisions):
+        sp = StridePredictor(self.ENTRIES)
+        addr = 1 << 24
+        for _ in range(5):
+            sp.update(pc, addr)
+            addr -= 64
+        assert sp.predict(pc) == -64
+        alias = pc + collisions * self.ENTRIES  # same slot, different tag
+        sp.update(alias, 0x5000)
+        # The slot now belongs to the alias: no stale negative-stride
+        # prediction may leak for either PC.
+        assert sp.predict(pc) is None
+        assert sp.confidence_of(pc) == 0
+        assert sp.predict(alias) is None  # fresh entry, zero confidence
+        assert sp.replacements == 1
+
+    @given(
+        pc=st.integers(min_value=0, max_value=1_000),
+        stride_a=st.sampled_from((-64, -128, 64)),
+        stride_b=st.sampled_from((-32, 32, 96)),
+        rounds=st.integers(min_value=2, max_value=12),
+    )
+    @settings(deadline=None)
+    def test_pingpong_aliasing_never_predicts(
+        self, pc, stride_a, stride_b, rounds
+    ):
+        """Two PCs fighting over one slot: each update replaces the
+        other's entry, so confidence never builds and neither PC may
+        ever produce a (necessarily stale) prediction."""
+        sp = StridePredictor(self.ENTRIES)
+        alias = pc + self.ENTRIES
+        addr_a, addr_b = 1 << 24, 1 << 25
+        for _ in range(rounds):
+            sp.update(pc, addr_a)
+            sp.update(alias, addr_b)
+            assert sp.predict(pc) is None
+            assert sp.predict(alias) is None
+            addr_a += stride_a
+            addr_b += stride_b
+        assert sp.replacements == 2 * rounds - 1
 
 
 class TestStreamBuffers:
@@ -119,3 +190,38 @@ class TestStreamBuffers:
         for i in range(60):
             hier.load(9, rng.randrange(1 << 22) * 64, i * 50)
         assert sb.allocations == 0
+
+    def test_allocation_across_page_boundary(self):
+        hier, sb = self.make()
+        # Start two blocks shy of a page edge: the stream buffer's
+        # run-ahead crosses into the next page immediately.  Stream
+        # buffers are physical-stream devices — no page clamp.
+        start = 0x200000 + PAGE - 2 * 64
+        self.train(hier, pc=7, start=start, stride=64, count=8)
+        assert sb.allocations >= 1
+        blocks = [
+            b for buf in sb._buffers if buf is not None for b in buf.blocks
+        ]
+        assert blocks, "stream must be running ahead"
+        assert any(b >= 0x200000 + PAGE for b in blocks), (
+            "run-ahead stopped at the page boundary"
+        )
+        assert len(blocks) == len(set(blocks))
+
+    @given(stride=st.sampled_from((PAGE - 64, PAGE, PAGE + 64, 2 * PAGE)))
+    @settings(deadline=None)
+    def test_page_sized_strides_allocate_clean_streams(self, stride):
+        """Strides at or beyond a page: every prefetch lands in a new
+        page, each buffer entry is a distinct block, and the stream's
+        stride survives the page crossings unchanged."""
+        hier, sb = self.make()
+        self.train(hier, pc=11, start=0x400000 + PAGE - 64, stride=stride,
+                   count=10)
+        assert sb.allocations >= 1
+        streams = [b for b in sb._buffers if b is not None and not b.markov]
+        assert streams
+        for buf in streams:
+            assert buf.stride == stride
+            assert len(buf.blocks) == len(set(buf.blocks))
+            for block in buf.blocks:
+                assert block % 64 == 0

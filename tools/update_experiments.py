@@ -46,6 +46,7 @@ ORDER = [
     "ablation_phase_detection",
     "ablation_markov",
     "resilience",
+    "tournament",
 ]
 
 
@@ -136,6 +137,8 @@ def regenerate(jobs: int, refresh: bool, workloads) -> None:
             warmup_instructions=warm, engine=engine),
         "resilience": lambda: E.resilience(
             workloads=sweep_names, engine=engine),
+        "tournament": lambda: E.tournament(
+            workloads=workloads, engine=engine),
     }
     RESULTS.mkdir(exist_ok=True)
     for name, produce in producers.items():

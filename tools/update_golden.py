@@ -34,6 +34,7 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.config import PrefetchPolicy  # noqa: E402
 from repro.harness.runner import run_simulation  # noqa: E402
+from repro.hwprefetch.zoo import zoo_names  # noqa: E402
 from repro.scenarios import CATALOG  # noqa: E402
 from repro.workloads.registry import BENCHMARK_NAMES  # noqa: E402
 
@@ -52,6 +53,12 @@ SEED = 1
 SCENARIO_NAMES = tuple(CATALOG)
 ALL_WORKLOADS = tuple(BENCHMARK_NAMES) + SCENARIO_NAMES
 
+#: Hardware-prefetcher zoo cells: every registered zoo policy on a
+#: small workload subset (one pointer-chaser, one DSL scenario) — the
+#: zoo engines' timing is pinned without quadrupling the grid.
+ZOO_POLICIES = tuple(zoo_names())
+ZOO_WORKLOADS = ("mcf", "stride-flip")
+
 
 def workload_arg(name: str, seed: int = SEED):
     """Resolve a grid entry: catalog scenarios compile to Workload
@@ -67,10 +74,15 @@ def canonical(payload: dict) -> str:
     return json.dumps(payload)
 
 
-def generate_cell(workload: str, policy: PrefetchPolicy) -> dict:
+def policy_value(policy) -> str:
+    """Fixture key for a cell's policy: enum value or zoo name."""
+    return policy.value if isinstance(policy, PrefetchPolicy) else policy
+
+
+def generate_cell(workload: str, policy) -> dict:
     result = run_simulation(
         workload_arg(workload),
-        policy=policy,
+        policy=policy,  # run_simulation resolves zoo names itself
         max_instructions=MAX_INSTRUCTIONS,
         warmup_instructions=WARMUP_INSTRUCTIONS,
         seed=SEED,
@@ -80,7 +92,7 @@ def generate_cell(workload: str, policy: PrefetchPolicy) -> dict:
     return {
         "spec": {
             "workload": workload,
-            "policy": policy.value,
+            "policy": policy_value(policy),
             "max_instructions": MAX_INSTRUCTIONS,
             "warmup_instructions": WARMUP_INSTRUCTIONS,
             "seed": SEED,
@@ -91,19 +103,28 @@ def generate_cell(workload: str, policy: PrefetchPolicy) -> dict:
     }
 
 
-def fixture_path(workload: str, policy: PrefetchPolicy) -> pathlib.Path:
-    return GOLDEN_DIR / f"{workload}__{policy.value}.json"
+def fixture_path(workload: str, policy) -> pathlib.Path:
+    return GOLDEN_DIR / f"{workload}__{policy_value(policy)}.json"
+
+
+def grid_cells():
+    """Every (workload, policy) cell in the golden grid."""
+    for workload in ALL_WORKLOADS:
+        for policy in POLICIES:
+            yield workload, policy
+    for workload in ZOO_WORKLOADS:
+        for policy in ZOO_POLICIES:
+            yield workload, policy
 
 
 def main() -> int:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    for workload in ALL_WORKLOADS:
-        for policy in POLICIES:
-            fixture = generate_cell(workload, policy)
-            path = fixture_path(workload, policy)
-            path.write_text(json.dumps(fixture, indent=1) + "\n")
-            print(f"wrote {path.relative_to(ROOT)}  "
-                  f"sha256={fixture['sha256'][:12]}")
+    for workload, policy in grid_cells():
+        fixture = generate_cell(workload, policy)
+        path = fixture_path(workload, policy)
+        path.write_text(json.dumps(fixture, indent=1) + "\n")
+        print(f"wrote {path.relative_to(ROOT)}  "
+              f"sha256={fixture['sha256'][:12]}")
     return 0
 
 
